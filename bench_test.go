@@ -1,0 +1,253 @@
+// Benchmarks regenerating every experiment of the reproduction (E1–E9 in
+// DESIGN.md §6). Each benchmark measures the cost of one experiment unit
+// and, where meaningful, reports domain metrics (tx/s, accept rates) via
+// b.ReportMetric. cmd/compbench prints the corresponding tables.
+package compositetx_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	ctx "compositetx"
+	"compositetx/internal/criteria"
+	"compositetx/internal/front"
+	"compositetx/internal/history"
+	"compositetx/internal/sched"
+	"compositetx/internal/workload"
+)
+
+// BenchmarkE1Figure3 measures deciding the paper's incorrect execution.
+func BenchmarkE1Figure3(b *testing.B) {
+	sys := ctx.Figure3System()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := ctx.IsCompC(sys)
+		if err != nil || ok {
+			b.Fatalf("want incorrect, got %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkE2Figure4 measures deciding the paper's correct execution.
+func BenchmarkE2Figure4(b *testing.B) {
+	sys := ctx.Figure4System()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := ctx.IsCompC(sys)
+		if err != nil || !ok {
+			b.Fatalf("want correct, got %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkE3Theorems measures one theorem-equivalence sample: generate a
+// random stack, fork and join and compare the special-case criterion with
+// the general reduction.
+func BenchmarkE3Theorems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		st := workload.Stack(workload.StackParams{Levels: 3, Roots: 2, Fanout: 2, ConflictRate: 0.3, Seed: seed})
+		scc, _ := criteria.IsSCC(st.Sys)
+		c1, _ := front.IsCompC(st.Sys)
+		fk := workload.Fork(workload.ForkParams{Branches: 3, Roots: 2, Fanout: 2, LeavesPerSub: 2, ConflictRate: 0.3, Seed: seed})
+		fcc, _ := criteria.IsFCC(fk.Sys)
+		c2, _ := front.IsCompC(fk.Sys)
+		jn := workload.Join(workload.JoinParams{Tops: 2, RootsPerTop: 2, Fanout: 2, LeavesPerSub: 2, ConflictRate: 0.3, TopConflictRate: 0.2, Seed: seed})
+		jcc, _ := criteria.IsJCC(jn.Sys)
+		c3, _ := front.IsCompC(jn.Sys)
+		if scc != c1 || fcc != c2 || jcc != c3 {
+			b.Fatalf("theorem disagreement at seed %d", seed)
+		}
+	}
+}
+
+// BenchmarkE4Containment measures one containment sample (LLSR, OPSR, SCC
+// on a random stack) and reports acceptance rates.
+func BenchmarkE4Containment(b *testing.B) {
+	llsr, opsr, scc := 0, 0, 0
+	for i := 0; i < b.N; i++ {
+		exec := workload.Stack(workload.StackParams{Levels: 2, Roots: 3, Fanout: 2, ConflictRate: 0.4, Seed: int64(i)})
+		if ok, _ := criteria.IsLLSR(exec.Sys); ok {
+			llsr++
+		}
+		if ok, _ := criteria.IsOPSR(exec.Sys, exec.Seqs); ok {
+			opsr++
+		}
+		if ok, _ := criteria.IsSCC(exec.Sys); ok {
+			scc++
+		}
+	}
+	b.ReportMetric(100*float64(llsr)/float64(b.N), "llsr-accept-%")
+	b.ReportMetric(100*float64(opsr)/float64(b.N), "opsr-accept-%")
+	b.ReportMetric(100*float64(scc)/float64(b.N), "scc-accept-%")
+}
+
+// BenchmarkE5Commutativity measures one semantic-knowledge sample on a
+// flat history with commuting increments.
+func BenchmarkE5Commutativity(b *testing.B) {
+	csr, sem := 0, 0
+	for i := 0; i < b.N; i++ {
+		h := history.Random(history.GenParams{Txs: 3, OpsPerTx: 3, Items: 2, IncRatio: 0.8, WriteRatio: 0.1, Seed: int64(i)})
+		if h.IsCSR() {
+			csr++
+		}
+		if h.IsSemanticSR() {
+			sem++
+		}
+	}
+	b.ReportMetric(100*float64(csr)/float64(b.N), "csr-accept-%")
+	b.ReportMetric(100*float64(sem)/float64(b.N), "semantic-accept-%")
+}
+
+// BenchmarkE6Protocols measures runtime throughput per protocol on the
+// bank topology (120 transactions per iteration, 16 clients, 150µs
+// simulated per-step service time).
+func BenchmarkE6Protocols(b *testing.B) {
+	for _, p := range []sched.Protocol{sched.Global2PL, sched.ClosedNested, sched.OpenNested, sched.Hybrid} {
+		b.Run(p.String(), func(b *testing.B) {
+			const (
+				roots   = 120
+				clients = 16
+			)
+			committed := 0
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				topo := sched.BankTopology()
+				rt := topo.NewRuntime(p)
+				progs := sched.GenPrograms(topo, sched.WorkloadParams{
+					Roots: roots, StepsPerTx: 4, Items: 4,
+					ReadRatio: 0.25, WriteRatio: 0.05, Seed: int64(i),
+				})
+				// Per-step service time makes lock hold times visible —
+				// that is where semantic commutativity pays off.
+				progs = sched.Jitter(progs, 150*time.Microsecond, int64(i))
+				if err := sched.Run(rt, progs, clients); err != nil {
+					b.Fatal(err)
+				}
+				committed += roots
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(committed)/time.Since(start).Seconds(), "tx/s")
+		})
+	}
+}
+
+// BenchmarkE7CheckerScaling measures Check against system size.
+func BenchmarkE7CheckerScaling(b *testing.B) {
+	for _, cfg := range []struct{ levels, roots int }{
+		{2, 4}, {3, 4}, {4, 4}, {3, 8}, {3, 16}, {3, 32},
+	} {
+		exec := workload.Stack(workload.StackParams{
+			Levels: cfg.levels, Roots: cfg.roots, Fanout: 2, ConflictRate: 0.05, Seed: 1,
+		})
+		name := fmt.Sprintf("levels=%d/roots=%d/nodes=%d", cfg.levels, cfg.roots, exec.Sys.NumNodes())
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := front.Check(exec.Sys, front.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Coverage measures one full run-record-check round on the
+// diamond topology under the Hybrid protocol.
+func BenchmarkE8Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := sched.DiamondTopology()
+		rt := topo.NewRuntime(sched.Hybrid)
+		progs := sched.GenPrograms(topo, sched.WorkloadParams{
+			Roots: 40, StepsPerTx: 3, Items: 3,
+			ReadRatio: 0.2, WriteRatio: 0.5, Seed: int64(i),
+		})
+		if err := sched.Run(rt, progs, 8); err != nil {
+			b.Fatal(err)
+		}
+		sys := rt.RecordedSystem()
+		if err := sys.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		ok, err := front.IsCompC(sys)
+		if err != nil || !ok {
+			b.Fatalf("hybrid must stay correct: %v, %v", ok, err)
+		}
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out. --------
+
+// BenchmarkAblationConFilter compares the reduction with the commuting-
+// pair filter (interpretation D3) against a pessimistic variant that is
+// emulated by declaring every same-schedule pair conflicting: Figure 4
+// then flips from correct to incorrect, and this bench quantifies the
+// checking cost of the extra constraint pairs.
+func BenchmarkAblationConFilter(b *testing.B) {
+	semantic := ctx.Figure4System()
+	pessimistic := ctx.Figure4System()
+	top := pessimistic.Schedule("STop")
+	ops := pessimistic.Ops("STop")
+	for i, a := range ops {
+		for _, c := range ops[i+1:] {
+			top.AddConflict(a, c)
+			top.WeakOut.Add(a, c)
+		}
+	}
+	b.Run("semantic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := ctx.IsCompC(semantic); !ok {
+				b.Fatal("semantic variant must be correct")
+			}
+		}
+	})
+	b.Run("pessimistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := ctx.IsCompC(pessimistic); ok {
+				b.Fatal("pessimistic variant must be incorrect")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWaitDie measures raw lock-manager throughput under
+// contention (the scheduler substrate in isolation).
+func BenchmarkAblationWaitDie(b *testing.B) {
+	topo := sched.StackTopology(2)
+	rt := topo.NewRuntime(sched.ClosedNested)
+	progs := sched.GenPrograms(topo, sched.WorkloadParams{
+		Roots: 1, StepsPerTx: 4, Items: 2, ReadRatio: 0, WriteRatio: 1, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Submit(fmt.Sprintf("B%d", i), progs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Deadlock measures one contended run-and-check round per
+// deadlock policy (hybrid protocol, write-heavy).
+func BenchmarkE9Deadlock(b *testing.B) {
+	for _, pol := range []sched.DeadlockPolicy{sched.WaitDie, sched.DetectWFG} {
+		b.Run(pol.String(), func(b *testing.B) {
+			aborts := int64(0)
+			for i := 0; i < b.N; i++ {
+				topo := sched.BankTopology()
+				rt := topo.NewRuntime(sched.Hybrid)
+				rt.Deadlock = pol
+				progs := sched.GenPrograms(topo, sched.WorkloadParams{
+					Roots: 60, StepsPerTx: 3, Items: 8,
+					ReadRatio: 0.2, WriteRatio: 0.3, Seed: int64(i),
+				})
+				progs = sched.Jitter(progs, 100*time.Microsecond, int64(i))
+				if err := sched.Run(rt, progs, 8); err != nil {
+					b.Fatal(err)
+				}
+				aborts += rt.Metrics().Aborts
+			}
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Command compbench regenerates every experiment artifact of the
+// reproduction (E1–E9 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+//
+// Usage:
+//
+//	compbench [-only E4] [-samples n]   (experiments E1..E9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compositetx/internal/sim"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
+	flag.Parse()
+
+	run := map[string]func() *sim.Table{
+		"E1": sim.E1Figure3,
+		"E2": sim.E2Figure4,
+		"E3": func() *sim.Table { return sim.E3Theorems(pick(*samples, 150)) },
+		"E4": func() *sim.Table { return sim.E4Containment(pick(*samples, 400)) },
+		"E5": func() *sim.Table { return sim.E5Commutativity(pick(*samples, 300)) },
+		"E6": func() *sim.Table { return sim.E6Protocols(sim.DefaultRunConfig()) },
+		"E7": sim.E7CheckerScaling,
+		"E8": func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
+		"E9": func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
+	}
+	if *only != "" {
+		fn, ok := run[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "compbench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		fn().Render(os.Stdout)
+		return
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+		run[id]().Render(os.Stdout)
+	}
+}
+
+func pick(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}

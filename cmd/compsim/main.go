@@ -1,0 +1,111 @@
+// Command compsim runs the prototype composite-system runtime on a chosen
+// topology and protocol, prints throughput metrics, and checks the
+// recorded execution for composite correctness.
+//
+// Usage:
+//
+//	compsim -topology bank -protocol hybrid -roots 500 -clients 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ctx "compositetx"
+)
+
+func main() {
+	topoName := flag.String("topology", "bank", "stack2|stack3|stack4|bank|diamond")
+	topoFile := flag.String("topo-file", "", "load a custom topology from a JSON file (overrides -topology)")
+	protoName := flag.String("protocol", "hybrid", "open-nested|closed-nested|global-2pl|hybrid|nocc")
+	roots := flag.Int("roots", 500, "number of root transactions")
+	steps := flag.Int("steps", 4, "steps per transaction")
+	items := flag.Int("items", 6, "hot-item universe size")
+	clients := flag.Int("clients", 16, "concurrent client goroutines")
+	readRatio := flag.Float64("reads", 0.3, "read service ratio")
+	writeRatio := flag.Float64("writes", 0.2, "write service ratio (rest: increments)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	deadlock := flag.String("deadlock", "wait-die", "deadlock policy: wait-die|detect-wfg")
+	flag.Parse()
+
+	topos := map[string]*ctx.Topology{
+		"stack2":  ctx.StackTopology(2),
+		"stack3":  ctx.StackTopology(3),
+		"stack4":  ctx.StackTopology(4),
+		"bank":    ctx.BankTopology(),
+		"diamond": ctx.DiamondTopology(),
+	}
+	topo, ok := topos[*topoName]
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+		topo, err = ctx.DecodeTopology(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+		*topoName = *topoFile
+	} else if !ok {
+		fmt.Fprintf(os.Stderr, "compsim: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	protos := map[string]ctx.Protocol{
+		"open-nested":   ctx.OpenNested,
+		"closed-nested": ctx.ClosedNested,
+		"global-2pl":    ctx.Global2PL,
+		"hybrid":        ctx.Hybrid,
+		"nocc":          ctx.NoCC,
+	}
+	proto, ok := protos[*protoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "compsim: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	rt := topo.NewRuntime(proto)
+	switch *deadlock {
+	case "wait-die":
+		rt.Deadlock = ctx.WaitDie
+	case "detect-wfg":
+		rt.Deadlock = ctx.DetectWFG
+	default:
+		fmt.Fprintf(os.Stderr, "compsim: unknown deadlock policy %q\n", *deadlock)
+		os.Exit(2)
+	}
+	programs := ctx.GenPrograms(topo, ctx.WorkloadParams{
+		Roots: *roots, StepsPerTx: *steps, Items: *items,
+		ReadRatio: *readRatio, WriteRatio: *writeRatio, Seed: *seed,
+	})
+	start := time.Now()
+	if err := ctx.Run(rt, programs, *clients); err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	m := rt.Metrics()
+	fmt.Printf("topology=%s protocol=%s roots=%d clients=%d\n", *topoName, proto, *roots, *clients)
+	fmt.Printf("wall=%s throughput=%.0f tx/s\n", elapsed.Round(time.Millisecond), float64(m.Commits)/elapsed.Seconds())
+	fmt.Printf("commits=%d aborts=%d leaf-ops=%d invocations=%d lock-waits=%d\n",
+		m.Commits, m.Aborts, m.LeafOps, m.Invokes, m.LockWaits)
+
+	sys := rt.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		fmt.Printf("recorded execution: MODEL VIOLATION (%v)\n", err)
+		os.Exit(1)
+	}
+	v, err := ctx.Check(sys, ctx.CheckOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("recorded execution: %s\n", v)
+	if !v.Correct {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Bank runtime: drive the prototype composite system with a concurrent
+// banking workload and compare the concurrency-control protocols — the
+// practical payoff of the composite theory: semantic protocols exploit
+// commutativity (deposits are increments, which commute) and sustain more
+// concurrency than a monolithic read/write scheduler, while every
+// recorded execution remains provably correct.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	ctx "compositetx"
+)
+
+func main() {
+	// Sizes are checker-friendly: deciding Comp-C enumerates conflicting
+	// operation pairs per hot item, which is quadratic in the number of
+	// accesses — cheap for a few hundred transactions, expensive for tens
+	// of thousands. Raise roots for pure throughput runs and skip the
+	// check (or use cmd/compsim).
+	const (
+		roots   = 400
+		clients = 16
+	)
+	fmt.Printf("banking workload: %d transactions, %d clients, 6 hot accounts\n\n", roots, clients)
+	fmt.Printf("%-14s %10s %8s %11s %8s  %s\n", "protocol", "tx/s", "aborts", "lock waits", "wall", "verdict")
+
+	for _, p := range []ctx.Protocol{ctx.Global2PL, ctx.ClosedNested, ctx.OpenNested, ctx.Hybrid} {
+		topo := ctx.BankTopology()
+		rt := topo.NewRuntime(p)
+		programs := ctx.GenPrograms(topo, ctx.WorkloadParams{
+			Roots: roots, StepsPerTx: 4, Items: 6,
+			ReadRatio: 0.25, WriteRatio: 0.05, // deposit-heavy: increments dominate
+			Seed: 99,
+		})
+		start := time.Now()
+		if err := ctx.Run(rt, programs, clients); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		m := rt.Metrics()
+
+		sys := rt.RecordedSystem()
+		verdict := "Comp-C"
+		if err := sys.Validate(); err != nil {
+			verdict = "MODEL VIOLATION"
+		} else if ok, err := ctx.IsCompC(sys); err != nil || !ok {
+			verdict = "COMP-C VIOLATION"
+		}
+		fmt.Printf("%-14s %10.0f %8d %11d %8s  %s\n",
+			p, float64(m.Commits)/elapsed.Seconds(), m.Aborts, m.LockWaits,
+			elapsed.Round(time.Millisecond), verdict)
+	}
+
+	fmt.Println("\nexpected shape: open-nested and hybrid lead (commuting deposits run")
+	fmt.Println("concurrently); global-2pl trails because it must treat every deposit")
+	fmt.Println("as a read-modify-write; all verdicts are Comp-C on this single-entry")
+	fmt.Println("configuration.")
+}

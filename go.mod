@@ -1,0 +1,3 @@
+module compositetx
+
+go 1.22

@@ -1,0 +1,108 @@
+package criteria
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+)
+
+// Report is the one-stop analysis of a recorded composite execution: the
+// verdict of every applicable criterion plus the shape of the
+// configuration. Criteria that do not apply to the configuration (SCC on
+// a non-stack, JCC on a non-join, OPSR without sequences) are omitted.
+type Report struct {
+	// Shape is "stack", "fork", "join" or "general".
+	Shape string
+	// Order is the number of schedule levels.
+	Order int
+	// ScheduleCC maps every schedule to its local conflict consistency.
+	ScheduleCC map[model.ScheduleID]bool
+	// Criteria maps criterion name ("Comp-C", "SCC", "FCC", "JCC",
+	// "LLSR", "OPSR") to its verdict, for the applicable ones.
+	Criteria map[string]bool
+	// CompC is the general verdict (also in Criteria).
+	CompC bool
+}
+
+// Classify runs every applicable correctness criterion on the execution.
+// seqs may be nil; OPSR is then omitted.
+func Classify(sys *model.System, seqs Sequences) (*Report, error) {
+	if err := sys.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	order, err := sys.Order()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Order:      order,
+		Shape:      "general",
+		ScheduleCC: map[model.ScheduleID]bool{},
+		Criteria:   map[string]bool{},
+	}
+	for _, sc := range sys.Schedules() {
+		rep.ScheduleCC[sc.ID] = IsCC(sys, sc)
+	}
+	compC, err := front.IsCompC(sys)
+	if err != nil {
+		return nil, err
+	}
+	rep.CompC = compC
+	rep.Criteria["Comp-C"] = compC
+
+	if IsStack(sys) {
+		rep.Shape = "stack"
+		if v, err := IsSCC(sys); err == nil {
+			rep.Criteria["SCC"] = v
+		}
+		if v, err := IsLLSR(sys); err == nil {
+			rep.Criteria["LLSR"] = v
+		}
+		if seqs != nil {
+			if v, err := IsOPSR(sys, seqs); err == nil {
+				rep.Criteria["OPSR"] = v
+			}
+		}
+	}
+	if _, ok := AsFork(sys); ok {
+		if rep.Shape == "general" {
+			rep.Shape = "fork"
+		}
+		if v, err := IsFCC(sys); err == nil {
+			rep.Criteria["FCC"] = v
+		}
+	}
+	if _, ok := AsJoin(sys); ok {
+		rep.Shape = "join"
+		if v, err := IsJCC(sys); err == nil {
+			rep.Criteria["JCC"] = v
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report as a small table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "configuration: %s, order %d\n", r.Shape, r.Order)
+	ids := make([]model.ScheduleID, 0, len(r.ScheduleCC))
+	for id := range r.ScheduleCC {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  schedule %-12s CC=%v\n", id, r.ScheduleCC[id])
+	}
+	names := make([]string, 0, len(r.Criteria))
+	for n := range r.Criteria {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-8s %v\n", n, r.Criteria[n])
+	}
+	return b.String()
+}

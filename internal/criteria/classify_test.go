@@ -1,0 +1,116 @@
+package criteria_test
+
+import (
+	"strings"
+	"testing"
+
+	"compositetx/internal/criteria"
+	"compositetx/internal/front"
+	"compositetx/internal/workload"
+)
+
+func TestClassifyStack(t *testing.T) {
+	exec := workload.Stack(workload.StackParams{
+		Levels: 3, Roots: 2, Fanout: 2, ConflictRate: 0.3, Seed: 2,
+	})
+	rep, err := criteria.Classify(exec.Sys, exec.Seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shape != "stack" || rep.Order != 3 {
+		t.Fatalf("shape=%s order=%d", rep.Shape, rep.Order)
+	}
+	for _, name := range []string{"Comp-C", "SCC", "LLSR", "OPSR"} {
+		if _, ok := rep.Criteria[name]; !ok {
+			t.Errorf("criterion %s missing from stack report", name)
+		}
+	}
+	if rep.Criteria["SCC"] != rep.Criteria["Comp-C"] {
+		t.Error("Theorem 2 must hold inside the report")
+	}
+	if len(rep.ScheduleCC) != 3 {
+		t.Errorf("ScheduleCC entries = %d, want 3", len(rep.ScheduleCC))
+	}
+	if s := rep.String(); !strings.Contains(s, "stack") || !strings.Contains(s, "Comp-C") {
+		t.Errorf("report rendering incomplete:\n%s", s)
+	}
+}
+
+func TestClassifyStackWithoutSequences(t *testing.T) {
+	exec := workload.Stack(workload.StackParams{
+		Levels: 2, Roots: 2, Fanout: 2, ConflictRate: 0.3, Seed: 2,
+	})
+	rep, err := criteria.Classify(exec.Sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Criteria["OPSR"]; ok {
+		t.Fatal("OPSR must be omitted without sequences")
+	}
+}
+
+func TestClassifyFork(t *testing.T) {
+	exec := workload.Fork(workload.ForkParams{
+		Branches: 3, Roots: 2, Fanout: 2, LeavesPerSub: 2, ConflictRate: 0.3, Seed: 2,
+	})
+	rep, err := criteria.Classify(exec.Sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shape != "fork" {
+		t.Fatalf("shape = %s, want fork", rep.Shape)
+	}
+	if rep.Criteria["FCC"] != rep.Criteria["Comp-C"] {
+		t.Error("Theorem 3 must hold inside the report")
+	}
+}
+
+func TestClassifyJoin(t *testing.T) {
+	exec := workload.Join(workload.JoinParams{
+		Tops: 2, RootsPerTop: 2, Fanout: 2, LeavesPerSub: 2,
+		ConflictRate: 0.3, TopConflictRate: 0.2, Seed: 2,
+	})
+	rep, err := criteria.Classify(exec.Sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shape != "join" {
+		t.Fatalf("shape = %s, want join", rep.Shape)
+	}
+	if rep.Criteria["JCC"] != rep.Criteria["Comp-C"] {
+		t.Error("Theorem 4 must hold inside the report")
+	}
+}
+
+func TestClassifyGeneral(t *testing.T) {
+	rep, err := criteria.Classify(front.Figure3System(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shape != "general" {
+		t.Fatalf("shape = %s, want general", rep.Shape)
+	}
+	if rep.CompC {
+		t.Fatal("Figure 3 must classify as incorrect")
+	}
+	// Every schedule is locally CC — the paper's central point: local
+	// consistency does not imply global correctness.
+	for id, cc := range rep.ScheduleCC {
+		if !cc {
+			t.Errorf("schedule %s should be locally CC", id)
+		}
+	}
+	for _, absent := range []string{"SCC", "FCC", "JCC", "LLSR", "OPSR"} {
+		if _, ok := rep.Criteria[absent]; ok {
+			t.Errorf("criterion %s should not apply to a general configuration", absent)
+		}
+	}
+}
+
+func TestClassifyRejectsBrokenStructure(t *testing.T) {
+	exec := workload.Stack(workload.StackParams{Levels: 2, Roots: 1, Fanout: 1, ConflictRate: 0, Seed: 1})
+	exec.Sys.AddLeaf("orphan", "ghost")
+	if _, err := criteria.Classify(exec.Sys, nil); err == nil {
+		t.Fatal("Classify must reject broken structures")
+	}
+}

@@ -1,0 +1,283 @@
+// Package criteria implements the correctness criteria the paper compares
+// Comp-C against: conflict consistency of a single schedule (CC, from
+// [ABFS97], restated as Definition 13), stack conflict consistency (SCC,
+// Definitions 21–22), fork conflict consistency (FCC, Definitions 23–24),
+// join conflict consistency (JCC, Definitions 25–27 with the ghost graph),
+// and the classical baselines level-by-level serializability (LLSR, the
+// multilevel criterion of [We91] the introduction criticizes) and
+// order-preserving serializability (OPSR, [BBG89]).
+//
+// These are independent implementations working directly on the local
+// schedule structure; the property tests verify Theorems 2–4 by comparing
+// them with the general reduction of internal/front on randomly generated
+// configurations.
+package criteria
+
+import (
+	"fmt"
+
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// SerOrder returns the transaction-level serialization order a schedule's
+// execution induces: t before t' whenever the schedule executed a
+// conflicting operation of t before one of t' (the classical serialization
+// graph, restricted to the schedule). Pairs within one transaction are
+// omitted.
+func SerOrder(sys *model.System, sc *model.Schedule) *order.Relation[model.NodeID] {
+	ser := order.New[model.NodeID]()
+	for _, t := range sys.Transactions(sc.ID) {
+		ser.AddNode(t)
+	}
+	sc.Conflicts.Each(func(a, b model.NodeID) {
+		ta, tb := sys.Parent(a), sys.Parent(b)
+		if ta == tb {
+			return
+		}
+		if sc.WeakOut.Has(a, b) {
+			ser.Add(ta, tb)
+		}
+		if sc.WeakOut.Has(b, a) {
+			ser.Add(tb, ta)
+		}
+	})
+	return ser
+}
+
+// IsCC reports conflict consistency of a single schedule (interpretation
+// D5): the union of its weak input order with its serialization order is
+// acyclic, i.e. the schedule serialized its transactions compatibly with
+// the order requirements it was given.
+func IsCC(sys *model.System, sc *model.Schedule) bool {
+	return order.UnionOf(sc.WeakIn, SerOrder(sys, sc)).IsAcyclic()
+}
+
+// --- Stack (Definitions 21–22, Theorem 2) ---------------------------------
+
+// IsStack reports whether the system is a stack configuration
+// (Definition 21): the schedules form a single chain in the invocation
+// graph and each non-bottom schedule's operations are exactly the next
+// schedule's transactions.
+func IsStack(sys *model.System) bool {
+	levels, err := sys.Levels()
+	if err != nil {
+		return false
+	}
+	byLevel := make(map[int][]model.ScheduleID)
+	maxLevel := 0
+	for id, l := range levels {
+		byLevel[l] = append(byLevel[l], id)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if maxLevel == 0 {
+		return false
+	}
+	for l := 1; l <= maxLevel; l++ {
+		if len(byLevel[l]) != 1 {
+			return false
+		}
+	}
+	// Every operation of schedule level l>1 is a transaction of level l-1;
+	// bottom operations are leaves.
+	for l := 2; l <= maxLevel; l++ {
+		upper, lower := byLevel[l][0], byLevel[l-1][0]
+		for _, op := range sys.Ops(upper) {
+			n := sys.Node(op)
+			if n.IsLeaf() || n.Sched != lower {
+				return false
+			}
+		}
+	}
+	for _, op := range sys.Ops(byLevel[1][0]) {
+		if !sys.Node(op).IsLeaf() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSCC reports stack conflict consistency (Definition 22): every schedule
+// of the stack is conflict consistent. It returns an error if the system
+// is not a stack.
+func IsSCC(sys *model.System) (bool, error) {
+	if !IsStack(sys) {
+		return false, fmt.Errorf("criteria: system is not a stack configuration")
+	}
+	for _, sc := range sys.Schedules() {
+		if !IsCC(sys, sc) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- Fork (Definitions 23–24, Theorem 3) ----------------------------------
+
+// ForkShape describes a fork configuration: one top schedule whose
+// operations are distributed over independent branch schedules.
+type ForkShape struct {
+	Top      model.ScheduleID
+	Branches []model.ScheduleID
+}
+
+// AsFork recognizes a fork configuration (Definition 23): a two-level
+// system with a single top schedule whose operations are all transactions
+// of the branch schedules, and branches whose operations are leaves.
+func AsFork(sys *model.System) (*ForkShape, bool) {
+	levels, err := sys.Levels()
+	if err != nil {
+		return nil, false
+	}
+	shape := &ForkShape{}
+	for id, l := range levels {
+		switch l {
+		case 2:
+			if shape.Top != "" {
+				return nil, false
+			}
+			shape.Top = id
+		case 1:
+			shape.Branches = append(shape.Branches, id)
+		default:
+			return nil, false
+		}
+	}
+	if shape.Top == "" || len(shape.Branches) == 0 {
+		return nil, false
+	}
+	for _, op := range sys.Ops(shape.Top) {
+		if sys.Node(op).IsLeaf() {
+			return nil, false
+		}
+	}
+	// Definition 23 item 3: operations sent to different branches commute;
+	// a fork schedule must not declare conflicts across branches.
+	bad := false
+	sys.Schedule(shape.Top).Conflicts.Each(func(a, b model.NodeID) {
+		if sys.Node(a).Sched != sys.Node(b).Sched {
+			bad = true
+		}
+	})
+	if bad {
+		return nil, false
+	}
+	// Deterministic branch order.
+	sortScheduleIDs(shape.Branches)
+	return shape, true
+}
+
+// IsFCC reports fork conflict consistency (Definition 24): the top schedule
+// is conflict consistent and the union of the branches' input orders and
+// serialization orders is acyclic.
+func IsFCC(sys *model.System) (bool, error) {
+	shape, ok := AsFork(sys)
+	if !ok {
+		return false, fmt.Errorf("criteria: system is not a fork configuration")
+	}
+	if !IsCC(sys, sys.Schedule(shape.Top)) {
+		return false, nil
+	}
+	u := order.New[model.NodeID]()
+	for _, b := range shape.Branches {
+		sc := sys.Schedule(b)
+		u.Union(sc.WeakIn)
+		u.Union(SerOrder(sys, sc))
+	}
+	return u.IsAcyclic(), nil
+}
+
+// --- Join (Definitions 25–27, Theorem 4) -----------------------------------
+
+// JoinShape describes a join configuration: independent top schedules whose
+// transactions' operations all funnel into one shared bottom schedule.
+type JoinShape struct {
+	Tops   []model.ScheduleID
+	Bottom model.ScheduleID
+}
+
+// AsJoin recognizes a join configuration (Definition 25): a two-level
+// system with one bottom schedule (level 1) and at least two top schedules
+// whose operations are all transactions of the bottom schedule.
+func AsJoin(sys *model.System) (*JoinShape, bool) {
+	levels, err := sys.Levels()
+	if err != nil {
+		return nil, false
+	}
+	shape := &JoinShape{}
+	for id, l := range levels {
+		switch l {
+		case 1:
+			if shape.Bottom != "" {
+				return nil, false
+			}
+			shape.Bottom = id
+		case 2:
+			shape.Tops = append(shape.Tops, id)
+		default:
+			return nil, false
+		}
+	}
+	if shape.Bottom == "" || len(shape.Tops) < 2 {
+		return nil, false
+	}
+	for _, top := range shape.Tops {
+		for _, op := range sys.Ops(top) {
+			n := sys.Node(op)
+			if n.IsLeaf() || n.Sched != shape.Bottom {
+				return nil, false
+			}
+		}
+	}
+	sortScheduleIDs(shape.Tops)
+	return shape, true
+}
+
+// GhostGraph builds the ghost graph of a join schedule (Definition 26): an
+// edge T -> T' between transactions of different top schedules whenever the
+// bottom schedule serialized a child of T before a child of T'.
+func GhostGraph(sys *model.System, shape *JoinShape) *order.Relation[model.NodeID] {
+	g := order.New[model.NodeID]()
+	bottom := sys.Schedule(shape.Bottom)
+	ser := SerOrder(sys, bottom)
+	ser.Each(func(t, t2 model.NodeID) {
+		p, p2 := sys.Parent(t), sys.Parent(t2)
+		if p == p2 {
+			return
+		}
+		if sys.Node(p).Sched != sys.Node(p2).Sched {
+			g.Add(p, p2)
+		}
+	})
+	return g
+}
+
+// IsJCC reports join conflict consistency (Definition 27): the bottom
+// schedule is conflict consistent and the union of the ghost graph with
+// every top schedule's input and serialization orders is acyclic.
+func IsJCC(sys *model.System) (bool, error) {
+	shape, ok := AsJoin(sys)
+	if !ok {
+		return false, fmt.Errorf("criteria: system is not a join configuration")
+	}
+	if !IsCC(sys, sys.Schedule(shape.Bottom)) {
+		return false, nil
+	}
+	u := GhostGraph(sys, shape)
+	for _, top := range shape.Tops {
+		sc := sys.Schedule(top)
+		u.Union(sc.WeakIn)
+		u.Union(SerOrder(sys, sc))
+	}
+	return u.IsAcyclic(), nil
+}
+
+func sortScheduleIDs(ids []model.ScheduleID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

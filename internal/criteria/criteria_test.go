@@ -1,0 +1,350 @@
+package criteria
+
+import (
+	"testing"
+
+	"compositetx/internal/model"
+)
+
+// twoLevelStack builds a 2-level stack: L2 schedules roots T1, T2; L1
+// schedules t11 (of T1) and t21 (of T2) whose leaves conflict in the given
+// order.
+func twoLevelStack(t *testing.T, leafOrder [2]model.NodeID, inOrder *[2]model.NodeID) *model.System {
+	t.Helper()
+	s := model.NewSystem()
+	l2 := s.AddSchedule("L2")
+	l1 := s.AddSchedule("L1")
+	s.AddRoot("T1", "L2")
+	s.AddRoot("T2", "L2")
+	s.AddTx("t11", "T1", "L1")
+	s.AddTx("t21", "T2", "L1")
+	s.AddLeaf("a", "t11")
+	s.AddLeaf("b", "t21")
+	l1.AddConflict("a", "b")
+	l1.WeakOut.Add(leafOrder[0], leafOrder[1])
+	if inOrder != nil {
+		l2.WeakOut.Add(inOrder[0], inOrder[1]) // order the subtransactions
+		l2.AddConflict(inOrder[0], inOrder[1])
+		l1.WeakIn.Add(inOrder[0], inOrder[1]) // Def 4.7
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+	return s
+}
+
+func TestSerOrder(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	ser := SerOrder(s, s.Schedule("L1"))
+	if !ser.Has("t11", "t21") {
+		t.Error("serialization order missing t11 -> t21")
+	}
+	if ser.Has("t21", "t11") {
+		t.Error("serialization order has a spurious reverse pair")
+	}
+}
+
+func TestIsCCRespectsInputOrders(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	l1 := s.Schedule("L1")
+	if !IsCC(s, l1) {
+		t.Fatal("schedule with consistent serialization should be CC")
+	}
+	// Now claim the input order was the other way round: t21 → t11 while
+	// the serialization order is t11 before t21.
+	l1.WeakIn.Add("t21", "t11")
+	if IsCC(s, l1) {
+		t.Fatal("schedule serializing against its input order must not be CC")
+	}
+}
+
+func TestIsStack(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	if !IsStack(s) {
+		t.Fatal("fixture is a stack")
+	}
+	// A fork is not a stack.
+	f := model.NewSystem()
+	f.AddSchedule("SF")
+	f.AddSchedule("B1")
+	f.AddSchedule("B2")
+	f.AddRoot("T", "SF")
+	f.AddTx("t1", "T", "B1")
+	f.AddTx("t2", "T", "B2")
+	f.AddLeaf("x", "t1")
+	f.AddLeaf("y", "t2")
+	if IsStack(f) {
+		t.Fatal("fork misrecognized as stack")
+	}
+	// A stack schedule with a stray leaf op at the top is not a pure stack.
+	s2 := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	s2.AddLeaf("stray", "T1")
+	if IsStack(s2) {
+		t.Fatal("top-level leaf op violates Definition 21")
+	}
+}
+
+func TestIsSCC(t *testing.T) {
+	ok, err := IsSCC(twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil))
+	if err != nil || !ok {
+		t.Fatalf("IsSCC = %v, %v; want true", ok, err)
+	}
+	// Leaf order against the declared upper-level order: L1 not CC.
+	bad := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	bad.Schedule("L1").WeakIn.Add("t21", "t11")
+	ok, err = IsSCC(bad)
+	if err != nil || ok {
+		t.Fatalf("IsSCC = %v, %v; want false", ok, err)
+	}
+	if _, err := IsSCC(model.NewSystem()); err == nil {
+		t.Fatal("IsSCC on an empty system should fail the stack check")
+	}
+}
+
+// forkFixture builds a fork: SF schedules T1, T2; T1 sends t1a to B1 and
+// t1b to B2; T2 sends t2a to B1.
+func forkFixture(t *testing.T) *model.System {
+	t.Helper()
+	s := model.NewSystem()
+	b1 := s.AddSchedule("B1")
+	s.AddSchedule("B2")
+	s.AddSchedule("SF")
+	s.AddRoot("T1", "SF")
+	s.AddRoot("T2", "SF")
+	s.AddTx("t1a", "T1", "B1")
+	s.AddTx("t1b", "T1", "B2")
+	s.AddTx("t2a", "T2", "B1")
+	s.AddLeaf("x1", "t1a")
+	s.AddLeaf("x2", "t2a")
+	s.AddLeaf("y1", "t1b")
+	b1.AddConflict("x1", "x2")
+	b1.WeakOut.Add("x1", "x2")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+	return s
+}
+
+func TestAsFork(t *testing.T) {
+	shape, ok := AsFork(forkFixture(t))
+	if !ok {
+		t.Fatal("fixture is a fork")
+	}
+	if shape.Top != "SF" || len(shape.Branches) != 2 {
+		t.Fatalf("shape = %+v", shape)
+	}
+	// A 3-level stack is not a fork.
+	stack := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	if _, ok := AsFork(stack); ok {
+		// two-level stack is structurally a single-branch fork; that is
+		// acceptable per Definition 23, so only check the branch count.
+		if len(shapeOf(t, stack).Branches) != 1 {
+			t.Fatal("stack misrecognized")
+		}
+	}
+}
+
+func shapeOf(t *testing.T, sys *model.System) *ForkShape {
+	t.Helper()
+	shape, ok := AsFork(sys)
+	if !ok {
+		t.Fatal("expected a fork shape")
+	}
+	return shape
+}
+
+func TestIsFCC(t *testing.T) {
+	ok, err := IsFCC(forkFixture(t))
+	if err != nil || !ok {
+		t.Fatalf("IsFCC = %v, %v; want true", ok, err)
+	}
+	// Make branch B1 serialize against its input order.
+	bad := forkFixture(t)
+	bad.Schedule("B1").WeakIn.Add("t2a", "t1a")
+	ok, err = IsFCC(bad)
+	if err != nil || ok {
+		t.Fatalf("IsFCC = %v, %v; want false", ok, err)
+	}
+}
+
+// joinFixture builds a join: U1 schedules TA, U2 schedules TB; both send
+// two subtransactions each into SJ. The leaf orders create the ghost-graph
+// pattern ta1 < tb1 and tb2 < ta2 when crossed is true.
+func joinFixture(t *testing.T, crossed bool) *model.System {
+	t.Helper()
+	s := model.NewSystem()
+	sj := s.AddSchedule("SJ")
+	s.AddSchedule("U1")
+	s.AddSchedule("U2")
+	s.AddRoot("TA", "U1")
+	s.AddRoot("TB", "U2")
+	s.AddTx("ta1", "TA", "SJ")
+	s.AddTx("ta2", "TA", "SJ")
+	s.AddTx("tb1", "TB", "SJ")
+	s.AddTx("tb2", "TB", "SJ")
+	s.AddLeaf("a1", "ta1")
+	s.AddLeaf("a2", "ta2")
+	s.AddLeaf("b1", "tb1")
+	s.AddLeaf("b2", "tb2")
+	sj.AddConflict("a1", "b1")
+	sj.WeakOut.Add("a1", "b1") // TA's work before TB's here
+	sj.AddConflict("a2", "b2")
+	if crossed {
+		sj.WeakOut.Add("b2", "a2") // ...and TB's before TA's there
+	} else {
+		sj.WeakOut.Add("a2", "b2")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+	return s
+}
+
+func TestAsJoinAndGhostGraph(t *testing.T) {
+	sys := joinFixture(t, true)
+	shape, ok := AsJoin(sys)
+	if !ok {
+		t.Fatal("fixture is a join")
+	}
+	if shape.Bottom != "SJ" || len(shape.Tops) != 2 {
+		t.Fatalf("shape = %+v", shape)
+	}
+	g := GhostGraph(sys, shape)
+	if !g.Has("TA", "TB") || !g.Has("TB", "TA") {
+		t.Fatalf("ghost graph should relate TA and TB both ways: %v", g.Pairs())
+	}
+}
+
+func TestIsJCC(t *testing.T) {
+	ok, err := IsJCC(joinFixture(t, false))
+	if err != nil || !ok {
+		t.Fatalf("IsJCC(straight) = %v, %v; want true", ok, err)
+	}
+	ok, err = IsJCC(joinFixture(t, true))
+	if err != nil || ok {
+		t.Fatalf("IsJCC(crossed) = %v, %v; want false (ghost-graph cycle)", ok, err)
+	}
+}
+
+// llsrShowcase builds the paper's introduction argument as a fixture: two
+// roots whose subtransactions are serialized in opposite directions at the
+// bottom level through *different* subtransaction pairs. Every schedule is
+// locally CC (SCC and Comp-C accept — the upper schedule declares no
+// conflict between the subtransactions, so the orders are forgotten), but
+// LLSR's pessimistic lifting turns the two bottom-level orders into
+// T1 < T2 and T2 < T1 and rejects.
+func llsrShowcase(t *testing.T) *model.System {
+	t.Helper()
+	s := model.NewSystem()
+	s.AddSchedule("L2")
+	l1 := s.AddSchedule("L1")
+	s.AddRoot("T1", "L2")
+	s.AddRoot("T2", "L2")
+	s.AddTx("t11", "T1", "L1")
+	s.AddTx("t12", "T1", "L1")
+	s.AddTx("t21", "T2", "L1")
+	s.AddTx("t22", "T2", "L1")
+	s.AddLeaf("a", "t11")
+	s.AddLeaf("b", "t21")
+	s.AddLeaf("a2", "t12")
+	s.AddLeaf("b2", "t22")
+	l1.AddConflict("a", "b")
+	l1.WeakOut.Add("a", "b") // t11 serialized before t21
+	l1.AddConflict("a2", "b2")
+	l1.WeakOut.Add("b2", "a2") // t22 serialized before t12
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+	return s
+}
+
+func TestLLSRStricterThanSCC(t *testing.T) {
+	s := llsrShowcase(t)
+	scc, err := IsSCC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scc {
+		t.Fatal("SCC should accept: every schedule is locally CC")
+	}
+	llsr, err := IsLLSR(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llsr {
+		t.Fatal("LLSR must reject: lifted orders T1<T2 and T2<T1 contradict")
+	}
+}
+
+func TestLLSRAcceptsConsistentStack(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	ok, err := IsLLSR(s)
+	if err != nil || !ok {
+		t.Fatalf("IsLLSR = %v, %v; want true", ok, err)
+	}
+}
+
+func TestWhollyBefore(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	wb := WhollyBefore(s, "L1", []model.NodeID{"a", "b"})
+	if !wb.Has("t11", "t21") || wb.Has("t21", "t11") {
+		t.Fatalf("WhollyBefore = %v", wb.Pairs())
+	}
+}
+
+func TestIsOPSRNeedsSequences(t *testing.T) {
+	s := twoLevelStack(t, [2]model.NodeID{"a", "b"}, nil)
+	if _, err := IsOPSR(s, Sequences{}); err == nil {
+		t.Fatal("IsOPSR without sequences should error")
+	}
+	seqs := Sequences{
+		"L1": {"a", "b"},
+		"L2": {"t11", "t21"},
+	}
+	ok, err := IsOPSR(s, seqs)
+	if err != nil || !ok {
+		t.Fatalf("IsOPSR = %v, %v; want true", ok, err)
+	}
+}
+
+func TestIsOPSRRejectsOrderReversal(t *testing.T) {
+	// The classical OPSR counterexample: t2 runs wholly before t1, but the
+	// conflicts serialize t1 < t3 < t2 through the overlapping t3. The
+	// serialization graph is acyclic (CC holds), yet no serial order can
+	// preserve the real-time order t2 before t1.
+	s := model.NewSystem()
+	s.AddSchedule("L2")
+	l1 := s.AddSchedule("L1")
+	s.AddRoot("T1", "L2")
+	s.AddRoot("T2", "L2")
+	s.AddRoot("T3", "L2")
+	s.AddTx("t1", "T1", "L1")
+	s.AddTx("t2", "T2", "L1")
+	s.AddTx("t3", "T3", "L1")
+	s.AddLeaf("a", "t1")
+	s.AddLeaf("b1", "t2")
+	s.AddLeaf("b2", "t2")
+	s.AddLeaf("c1", "t3")
+	s.AddLeaf("c2", "t3")
+	l1.AddConflict("a", "c2")
+	l1.WeakOut.Add("a", "c2") // t1 < t3
+	l1.AddConflict("c1", "b1")
+	l1.WeakOut.Add("c1", "b1") // t3 < t2
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsCC(s, l1) {
+		t.Fatal("the counterexample must be conflict consistent")
+	}
+	seqs := Sequences{
+		"L1": {"c1", "b1", "b2", "a", "c2"}, // t2 wholly before t1
+		"L2": {"t1", "t2", "t3"},
+	}
+	ok, err := IsOPSR(s, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("OPSR must reject serialization against the real-time order")
+	}
+}

@@ -1,0 +1,213 @@
+// Theorems 2–4 of the paper, machine-checked: on stack, fork and join
+// configurations the special-case criteria SCC, FCC and JCC coincide with
+// composite correctness (Comp-C) as decided by the general reduction.
+//
+// This file is an external test package because workload (the generator)
+// depends on the criteria package for the Sequences type.
+package criteria_test
+
+import (
+	"testing"
+
+	"compositetx/internal/criteria"
+	"compositetx/internal/front"
+	"compositetx/internal/workload"
+)
+
+// checkAgreement runs one generated execution through a special-case
+// criterion and through the general reduction and requires identical
+// verdicts.
+func checkAgreement(t *testing.T, name string, exec *workload.Execution,
+	special func() (bool, error)) (special1, compC bool) {
+	t.Helper()
+	if err := exec.Sys.Validate(); err != nil {
+		t.Fatalf("%s: generated execution must validate: %v", name, err)
+	}
+	s, err := special()
+	if err != nil {
+		t.Fatalf("%s: criterion error: %v", name, err)
+	}
+	c, err := front.IsCompC(exec.Sys)
+	if err != nil {
+		t.Fatalf("%s: Check error: %v", name, err)
+	}
+	if s != c {
+		v, _ := front.Check(exec.Sys, front.Options{KeepFronts: true})
+		t.Fatalf("%s: criterion=%v but Comp-C=%v\nverdict: %s\ntrace:\n%s",
+			name, s, c, v, v.Trace())
+	}
+	return s, c
+}
+
+func TestTheorem2StackSCCEquivalence(t *testing.T) {
+	accepted, rejected := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		p := workload.StackParams{
+			Levels:       2 + int(seed%3), // 2..4 levels
+			Roots:        2 + int(seed%2),
+			Fanout:       2,
+			ConflictRate: 0.15 + 0.5*float64(seed%4)/4,
+			StrongRate:   0.1 * float64(seed%2),
+			Seed:         seed,
+		}
+		exec := workload.Stack(p)
+		scc, _ := checkAgreement(t, "stack", exec, func() (bool, error) {
+			return criteria.IsSCC(exec.Sys)
+		})
+		if scc {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	// The generator must exercise both sides of the equivalence.
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate coverage: %d accepted, %d rejected", accepted, rejected)
+	}
+}
+
+func TestTheorem3ForkFCCEquivalence(t *testing.T) {
+	accepted, rejected := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		p := workload.ForkParams{
+			Branches:     2 + int(seed%3),
+			Roots:        2 + int(seed%3),
+			Fanout:       2,
+			LeavesPerSub: 2,
+			ConflictRate: 0.1 + 0.5*float64(seed%5)/5,
+			StrongRate:   0.1 * float64(seed%2),
+			Seed:         seed,
+		}
+		exec := workload.Fork(p)
+		fcc, _ := checkAgreement(t, "fork", exec, func() (bool, error) {
+			return criteria.IsFCC(exec.Sys)
+		})
+		if fcc {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate coverage: %d accepted, %d rejected", accepted, rejected)
+	}
+}
+
+func TestTheorem4JoinJCCEquivalence(t *testing.T) {
+	accepted, rejected := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		p := workload.JoinParams{
+			Tops:            2 + int(seed%2),
+			RootsPerTop:     1 + int(seed%2),
+			Fanout:          2,
+			LeavesPerSub:    2,
+			ConflictRate:    0.1 + 0.5*float64(seed%5)/5,
+			TopConflictRate: 0.15 * float64(seed%3),
+			Seed:            seed,
+		}
+		exec := workload.Join(p)
+		jcc, _ := checkAgreement(t, "join", exec, func() (bool, error) {
+			return criteria.IsJCC(exec.Sys)
+		})
+		if jcc {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate coverage: %d accepted, %d rejected", accepted, rejected)
+	}
+}
+
+// TestContainmentLLSRInSCC: every LLSR execution is SCC (= Comp-C on
+// stacks), and across the sweep some executions are SCC but not LLSR —
+// the paper's claim that the composite classes are strictly larger.
+func TestContainmentLLSRInSCC(t *testing.T) {
+	sccNotLLSR := 0
+	for seed := int64(0); seed < 150; seed++ {
+		exec := workload.Stack(workload.StackParams{
+			Levels: 2 + int(seed%2), Roots: 2, Fanout: 2,
+			ConflictRate: 0.2 + 0.4*float64(seed%3)/3,
+			Seed:         seed,
+		})
+		llsr, err := criteria.IsLLSR(exec.Sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scc, err := criteria.IsSCC(exec.Sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if llsr && !scc {
+			t.Fatalf("seed %d: LLSR accepted an execution SCC rejects (containment violated)", seed)
+		}
+		if scc && !llsr {
+			sccNotLLSR++
+		}
+	}
+	if sccNotLLSR == 0 {
+		t.Fatal("sweep never separated SCC from LLSR; expected strict containment")
+	}
+}
+
+// TestContainmentOPSRInSCC: every OPSR execution is SCC, with strictness
+// across the sweep.
+func TestContainmentOPSRInSCC(t *testing.T) {
+	sccNotOPSR := 0
+	for seed := int64(0); seed < 150; seed++ {
+		exec := workload.Stack(workload.StackParams{
+			Levels: 2, Roots: 3, Fanout: 2,
+			ConflictRate: 0.2 + 0.4*float64(seed%3)/3,
+			Seed:         seed,
+		})
+		opsr, err := criteria.IsOPSR(exec.Sys, exec.Seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scc, err := criteria.IsSCC(exec.Sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opsr && !scc {
+			t.Fatalf("seed %d: OPSR accepted an execution SCC rejects (containment violated)", seed)
+		}
+		if scc && !opsr {
+			sccNotOPSR++
+		}
+	}
+	if sccNotOPSR == 0 {
+		t.Fatal("sweep never separated SCC from OPSR; expected strict containment")
+	}
+}
+
+// TestGeneralExecutionsValidateAndDecide: the general generator produces
+// model-conformant executions of arbitrary shape, and the checker decides
+// all of them without error, in both directions.
+func TestGeneralExecutionsValidateAndDecide(t *testing.T) {
+	correct, incorrect := 0, 0
+	for seed := int64(0); seed < 80; seed++ {
+		exec := workload.General(workload.GeneralParams{
+			Depth: 2 + int(seed%3), SchedsPerLevel: 2, Roots: 3, Fanout: 2,
+			LeafRate:     0.3,
+			ConflictRate: 0.1 + 0.6*float64(seed%4)/4,
+			StrongRate:   0.05 * float64(seed%2),
+			Seed:         seed,
+		})
+		if err := exec.Sys.Validate(); err != nil {
+			t.Fatalf("seed %d: generated general execution must validate: %v", seed, err)
+		}
+		ok, err := front.IsCompC(exec.Sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ok {
+			correct++
+		} else {
+			incorrect++
+		}
+	}
+	if correct == 0 || incorrect == 0 {
+		t.Fatalf("degenerate coverage: %d correct, %d incorrect", correct, incorrect)
+	}
+}

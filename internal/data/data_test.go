@@ -1,0 +1,167 @@
+package data
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreApply(t *testing.T) {
+	s := NewStore()
+	if r, err := s.Apply(Op{Mode: ModeRead, Item: "x"}); err != nil || r.Value != 0 {
+		t.Fatalf("read empty = %+v, %v", r, err)
+	}
+	if r, err := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: 7}); err != nil || r.Value != 7 || r.Prev != 0 {
+		t.Fatalf("write = %+v, %v", r, err)
+	}
+	if r, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 5}); err != nil || r.Value != 12 || r.Prev != 7 {
+		t.Fatalf("incr = %+v, %v", r, err)
+	}
+	if r, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: -2}); err != nil || r.Value != 10 {
+		t.Fatalf("decr = %+v, %v", r, err)
+	}
+	if got := s.Get("x"); got != 10 {
+		t.Fatalf("Get = %d, want 10", got)
+	}
+	if got := s.Applied(); got != 4 {
+		t.Fatalf("Applied = %d, want 4", got)
+	}
+}
+
+func TestStoreUnknownMode(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Apply(Op{Mode: "mystery", Item: "x"}); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestStoreConcurrentIncrements(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := s.Apply(Op{Mode: ModeIncr, Item: "ctr", Arg: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("ctr"); got != 1000 {
+		t.Fatalf("ctr = %d, want 1000", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	s := NewStore()
+	s.Set("x", 3)
+
+	wres, _ := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: 9})
+	inv, ok := Inverse(Op{Mode: ModeWrite, Item: "x", Arg: 9}, wres)
+	if !ok {
+		t.Fatal("write must have an inverse")
+	}
+	if _, err := s.Apply(inv); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get("x"); got != 3 {
+		t.Fatalf("write undo: x = %d, want 3", got)
+	}
+
+	ires, _ := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 4})
+	inv, ok = Inverse(Op{Mode: ModeIncr, Item: "x", Arg: 4}, ires)
+	if !ok {
+		t.Fatal("incr must have an inverse")
+	}
+	if _, err := s.Apply(inv); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get("x"); got != 3 {
+		t.Fatalf("incr undo: x = %d, want 3", got)
+	}
+
+	if _, ok := Inverse(Op{Mode: ModeRead, Item: "x"}, Result{}); ok {
+		t.Fatal("reads need no compensation")
+	}
+}
+
+// Property: an increment followed by its inverse is the identity, from any
+// starting value.
+func TestInverseIncrementProperty(t *testing.T) {
+	f := func(start, delta int64) bool {
+		s := NewStore()
+		s.Set("x", start)
+		op := Op{Mode: ModeIncr, Item: "x", Arg: delta}
+		res, err := s.Apply(op)
+		if err != nil {
+			return false
+		}
+		inv, ok := Inverse(op, res)
+		if !ok {
+			return false
+		}
+		if _, err := s.Apply(inv); err != nil {
+			return false
+		}
+		return s.Get("x") == start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeTables(t *testing.T) {
+	sem := SemanticTable()
+	rw := RWTable()
+
+	cases := []struct {
+		a, b            Mode
+		semConf, rwConf bool
+	}{
+		{ModeRead, ModeRead, false, false},
+		{ModeRead, ModeWrite, true, true},
+		{ModeWrite, ModeWrite, true, true},
+		{ModeIncr, ModeIncr, false, true}, // the semantic-knowledge lever
+		{ModeIncr, ModeRead, true, true},
+		{ModeIncr, ModeWrite, true, true},
+	}
+	for _, c := range cases {
+		if got := sem.ModeConflicts(c.a, c.b); got != c.semConf {
+			t.Errorf("semantic %s/%s = %v, want %v", c.a, c.b, got, c.semConf)
+		}
+		if got := rw.ModeConflicts(c.a, c.b); got != c.rwConf {
+			t.Errorf("rw %s/%s = %v, want %v", c.a, c.b, got, c.rwConf)
+		}
+		// Symmetry.
+		if sem.ModeConflicts(c.a, c.b) != sem.ModeConflicts(c.b, c.a) {
+			t.Errorf("mode table must be symmetric for %s/%s", c.a, c.b)
+		}
+	}
+}
+
+func TestModeTableDifferentItemsCommute(t *testing.T) {
+	sem := SemanticTable()
+	if sem.Conflicts(Op{Mode: ModeWrite, Item: "x"}, Op{Mode: ModeWrite, Item: "y"}) {
+		t.Fatal("operations on different items must not conflict")
+	}
+	if !sem.Conflicts(Op{Mode: ModeWrite, Item: "x"}, Op{Mode: ModeWrite, Item: "x"}) {
+		t.Fatal("writes on one item must conflict")
+	}
+}
+
+func TestIsShared(t *testing.T) {
+	sem := SemanticTable()
+	if !sem.IsShared(ModeRead) || !sem.IsShared(ModeIncr) {
+		t.Error("read and incr are shared under the semantic table")
+	}
+	if sem.IsShared(ModeWrite) {
+		t.Error("write is exclusive")
+	}
+	if RWTable().IsShared(ModeIncr) {
+		t.Error("incr is exclusive under the rw table")
+	}
+}

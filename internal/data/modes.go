@@ -1,0 +1,97 @@
+package data
+
+// ModeTable is a symmetric conflict specification over operation modes: it
+// answers whether two operations on the same item conflict (do not
+// commute). Operations on different items never conflict.
+type ModeTable struct {
+	conflicts map[[2]Mode]bool
+}
+
+// NewModeTable returns an empty table (everything commutes). Use Declare
+// to add conflicts.
+func NewModeTable() *ModeTable {
+	return &ModeTable{conflicts: make(map[[2]Mode]bool)}
+}
+
+func canonicalModes(a, b Mode) [2]Mode {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Mode{a, b}
+}
+
+// Declare marks two modes as conflicting (in both orders).
+func (t *ModeTable) Declare(a, b Mode) *ModeTable {
+	t.conflicts[canonicalModes(a, b)] = true
+	return t
+}
+
+// Conflicts reports whether two operations conflict: same item and a
+// declared mode conflict.
+func (t *ModeTable) Conflicts(a, b Op) bool {
+	if a.Item != b.Item {
+		return false
+	}
+	return t.ModeConflicts(a.Mode, b.Mode)
+}
+
+// ModeConflicts reports whether two modes are declared conflicting.
+func (t *ModeTable) ModeConflicts(a, b Mode) bool {
+	return t.conflicts[canonicalModes(a, b)]
+}
+
+// SemanticTable is the full-knowledge specification for the integer store:
+// reads commute with reads, increments commute with increments, and every
+// combination involving a write conflicts, as does read/increment.
+func SemanticTable() *ModeTable {
+	return NewModeTable().
+		Declare(ModeRead, ModeWrite).
+		Declare(ModeRead, ModeIncr).
+		Declare(ModeWrite, ModeWrite).
+		Declare(ModeWrite, ModeIncr)
+}
+
+// RWTable is the classical no-knowledge specification: increments are
+// read-modify-writes, so everything but read/read conflicts. This is what
+// a flat scheduler without semantic knowledge must assume.
+func RWTable() *ModeTable {
+	return NewModeTable().
+		Declare(ModeRead, ModeWrite).
+		Declare(ModeRead, ModeIncr).
+		Declare(ModeWrite, ModeWrite).
+		Declare(ModeWrite, ModeIncr).
+		Declare(ModeIncr, ModeIncr)
+}
+
+// Escrow modes: domain-specific semantic classes implemented as
+// increments. Deposits always commute (the balance only grows); a
+// withdrawal must be certain the balance suffices, so withdrawals conflict
+// with each other and with deposits' absence — here, conservatively, with
+// withdrawals and audits.
+const (
+	// ModeDeposit adds funds; commutes with every other deposit.
+	ModeDeposit Mode = "deposit"
+	// ModeWithdraw removes funds; conflicts with other withdrawals.
+	ModeWithdraw Mode = "withdraw"
+	// ModeAudit reads a balance; conflicts with everything that changes it.
+	ModeAudit Mode = "audit"
+)
+
+// EscrowTable is an escrow-style conflict specification over the banking
+// modes: deposit/deposit commute, withdraw/withdraw conflict, audit
+// conflicts with both. It demonstrates domain-specific mode tables built
+// on the same store (all three modes are implemented as increments or
+// reads; see Op.Impl).
+func EscrowTable() *ModeTable {
+	return NewModeTable().
+		Declare(ModeWithdraw, ModeWithdraw).
+		Declare(ModeAudit, ModeDeposit).
+		Declare(ModeAudit, ModeWithdraw).
+		Declare(ModeAudit, ModeAudit)
+}
+
+// IsShared reports whether a mode is compatible with itself under the
+// table (a "shared" lock mode).
+func (t *ModeTable) IsShared(m Mode) bool {
+	return !t.ModeConflicts(m, m)
+}

@@ -1,0 +1,149 @@
+// Package data provides the semantic data stores the runtime components
+// operate on: an in-memory map of named 64-bit integers supporting read,
+// write, increment and decrement, together with commutativity
+// specifications (mode tables) and inverse operations for compensation.
+//
+// Semantic commutativity is the lever the composite model exploits: a
+// schedule that knows two of its operations commute (e.g. two increments)
+// may interleave them freely and vouches for that commutativity upward
+// (Definition 10). The mode tables here define exactly which operations a
+// component declares as conflicting.
+package data
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode names the semantic class of an operation; components use modes for
+// conflict declaration and locking.
+type Mode string
+
+// The built-in modes of the integer store.
+const (
+	ModeRead  Mode = "read"
+	ModeWrite Mode = "write"
+	ModeIncr  Mode = "incr" // increment/decrement by a delta
+)
+
+// Op is one operation against a store.
+//
+// Mode is the operation's *semantic* class — what the component's conflict
+// table and lock manager see. Impl, when set, is the physical
+// implementation the store executes (one of the built-in modes); this is
+// how domain-specific modes work: a "deposit" and a "withdraw" can both be
+// implemented as increments while carrying different conflict semantics
+// (see EscrowTable).
+type Op struct {
+	Mode Mode
+	Item string
+	Arg  int64 // write value or increment delta
+	Impl Mode  // physical implementation; empty means Mode itself
+}
+
+// Physical returns the mode the store executes: Impl when set, otherwise
+// Mode itself.
+func (o Op) Physical() Mode {
+	if o.Impl != "" {
+		return o.Impl
+	}
+	return o.Mode
+}
+
+func (o Op) String() string {
+	switch o.Mode {
+	case ModeRead:
+		return fmt.Sprintf("read(%s)", o.Item)
+	case ModeWrite:
+		return fmt.Sprintf("write(%s,%d)", o.Item, o.Arg)
+	case ModeIncr:
+		return fmt.Sprintf("incr(%s,%+d)", o.Item, o.Arg)
+	default:
+		return fmt.Sprintf("%s(%s,%d)", o.Mode, o.Item, o.Arg)
+	}
+}
+
+// Result is the outcome of applying an operation.
+type Result struct {
+	Value int64 // value read, written, or the post-increment value
+	Prev  int64 // value before the operation (for compensation)
+}
+
+// Store is a concurrency-safe map of named integers. The store itself only
+// guarantees per-operation atomicity; transactional isolation is the
+// scheduler's job (internal/sched).
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]int64
+
+	// applied counts operations, for tests and metrics.
+	applied int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{vals: make(map[string]int64)}
+}
+
+// Apply executes the operation atomically and returns its result.
+func (s *Store) Apply(op Op) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.vals[op.Item]
+	res := Result{Prev: prev}
+	switch op.Physical() {
+	case ModeRead:
+		res.Value = prev
+	case ModeWrite:
+		s.vals[op.Item] = op.Arg
+		res.Value = op.Arg
+	case ModeIncr:
+		s.vals[op.Item] = prev + op.Arg
+		res.Value = prev + op.Arg
+	default:
+		return Result{}, fmt.Errorf("data: unknown mode %q", op.Physical())
+	}
+	s.applied++
+	return res, nil
+}
+
+// Get reads an item without counting as an operation (for tests/metrics).
+func (s *Store) Get(item string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[item]
+}
+
+// Set overwrites an item without counting as an operation (for setup).
+func (s *Store) Set(item string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[item] = v
+}
+
+// Applied returns the number of operations applied.
+func (s *Store) Applied() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Inverse returns the compensating operation that undoes op given its
+// result, or ok=false when no compensation is needed (reads).
+//
+// Increments are compensated by the opposite increment — the open-nested
+// commutative undo — while writes are compensated by restoring the
+// previous value, which is only correct if no later write intervened;
+// write modes therefore must be declared conflicting in every mode table.
+func Inverse(op Op, res Result) (Op, bool) {
+	switch op.Physical() {
+	case ModeRead:
+		return Op{}, false
+	case ModeWrite:
+		return Op{Mode: ModeWrite, Item: op.Item, Arg: res.Prev}, true
+	case ModeIncr:
+		return Op{Mode: ModeIncr, Item: op.Item, Arg: -op.Arg}, true
+	default:
+		return Op{}, false
+	}
+}

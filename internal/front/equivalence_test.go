@@ -1,0 +1,132 @@
+package front_test
+
+import (
+	"testing"
+
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+	"compositetx/internal/workload"
+)
+
+// TestTheorem1BothDirections: the reduction form of correctness (Check,
+// "CS has a level N front") agrees with the original containment form of
+// Definition 20 ("CS is level-N-contained in a serial front") on random
+// executions of every configuration shape — Theorem 1, machine-checked
+// with two independent implementations of the right-hand side.
+func TestTheorem1BothDirections(t *testing.T) {
+	gens := map[string]func(seed int64) *model.System{
+		"stack": func(seed int64) *model.System {
+			return workload.Stack(workload.StackParams{
+				Levels: 2 + int(seed%2), Roots: 2, Fanout: 2,
+				ConflictRate: 0.3, Seed: seed}).Sys
+		},
+		"fork": func(seed int64) *model.System {
+			return workload.Fork(workload.ForkParams{
+				Branches: 2, Roots: 2, Fanout: 2, LeavesPerSub: 2,
+				ConflictRate: 0.3, Seed: seed}).Sys
+		},
+		"general": func(seed int64) *model.System {
+			return workload.General(workload.GeneralParams{
+				Depth: 3, SchedsPerLevel: 2, Roots: 3, Fanout: 2,
+				LeafRate: 0.3, ConflictRate: 0.3, Seed: seed}).Sys
+		},
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			correct, incorrect := 0, 0
+			for seed := int64(0); seed < 60; seed++ {
+				sys := gen(seed)
+				byReduction, err := front.IsCompC(sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				byContainment, err := front.IsCompCByContainment(sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if byReduction != byContainment {
+					t.Fatalf("seed %d: reduction=%v containment=%v (Theorem 1 violated)",
+						seed, byReduction, byContainment)
+				}
+				if byReduction {
+					correct++
+				} else {
+					incorrect++
+				}
+			}
+			if correct == 0 || incorrect == 0 {
+				t.Fatalf("degenerate coverage: %d correct, %d incorrect", correct, incorrect)
+			}
+		})
+	}
+}
+
+func TestFrontAtLevel(t *testing.T) {
+	sys := front.Figure4System()
+	for level := 0; level <= 3; level++ {
+		f, ok := front.FrontAtLevel(sys, level)
+		if !ok {
+			t.Fatalf("level %d front must exist for Figure 4", level)
+		}
+		if f.Level != level {
+			t.Fatalf("front level = %d, want %d", f.Level, level)
+		}
+	}
+	// Figure 3 has fronts up to level 2 but no level 3 front.
+	bad := front.Figure3System()
+	if _, ok := front.FrontAtLevel(bad, 2); !ok {
+		t.Fatal("Figure 3 has a level 2 front")
+	}
+	if _, ok := front.FrontAtLevel(bad, 3); ok {
+		t.Fatal("Figure 3 must have no level 3 front")
+	}
+}
+
+func TestLevelEquivalenceReflexive(t *testing.T) {
+	sys := front.Figure4System()
+	f, ok := front.FrontAtLevel(sys, 2)
+	if !ok {
+		t.Fatal("level 2 front must exist")
+	}
+	if !front.LevelEquivalent(sys, 2, f) {
+		t.Fatal("a system must be level-equivalent to its own front")
+	}
+	other, _ := front.FrontAtLevel(sys, 1)
+	if front.LevelEquivalent(sys, 2, other) {
+		t.Fatal("fronts of different levels of the same system differ here")
+	}
+}
+
+// TestLevelEquivalenceAcrossSystems: Definition 18's point — two systems
+// with different lower-level structure can be equivalent at the top.
+// Figure 4's system and a flat one-schedule system with the same two
+// (unordered, non-conflicting) roots have identical top fronts.
+func TestLevelEquivalenceAcrossSystems(t *testing.T) {
+	fig4 := front.Figure4System()
+	f3, ok := front.FrontAtLevel(fig4, 3)
+	if !ok {
+		t.Fatal("Figure 4 reaches level 3")
+	}
+
+	flat := model.NewSystem()
+	flat.AddSchedule("S")
+	flat.AddRoot("T1", "S")
+	flat.AddRoot("T2", "S")
+	flat.AddLeaf("a", "T1")
+	flat.AddLeaf("b", "T2")
+	// No conflicts: the level 1 front is {T1, T2} with empty relations —
+	// identical to Figure 4's level 3 front.
+	if !front.LevelEquivalent(flat, 1, f3) {
+		t.Fatal("flat system's level 1 front should equal Figure 4's level 3 front")
+	}
+}
+
+func TestSerialFrontIsSerial(t *testing.T) {
+	f := front.SerialFront([]model.NodeID{"A", "B", "C"}, model.NewPairSet())
+	if !f.IsSerial() {
+		t.Fatal("SerialFront must satisfy Definition 17")
+	}
+	if !f.StrongIn.Has("A", "C") {
+		t.Fatal("serial front strong order must be total (transitive pairs included)")
+	}
+}

@@ -1,0 +1,178 @@
+package front
+
+import "compositetx/internal/model"
+
+// This file reconstructs the paper's worked examples. The figure artwork is
+// not part of the available text (interpretation D6 in DESIGN.md), so each
+// system below is built to exhibit exactly the properties the prose
+// narrates; the tests in examples_test.go assert those properties.
+
+// Figure2System builds the configuration illustrating conflict and observed
+// order (paper Figure 2): conflicting leaves on a shared schedule relate
+// their parents, and the relation propagates up trees that share no
+// schedule, incrementally relating the roots (T1,T2) and (T3,T1).
+//
+//	STop1 schedules T1 with ops t1 (S4) and t1b (S5)
+//	STop2 schedules T2 with op  t2 (S4)
+//	STop3 schedules T3 with op  t3 (S5)
+//	S4: leaves o13 (of t1), o25 (of t2), conflicting, o13 ≺ o25
+//	S5: leaves p1 (of t1b), p2 (of t3), conflicting, p2 ≺ p1
+//
+// The execution is Comp-C with serial witness T3, T1, T2.
+func Figure2System() *model.System {
+	s := model.NewSystem()
+	s.AddSchedule("STop1")
+	s.AddSchedule("STop2")
+	s.AddSchedule("STop3")
+	s4 := s.AddSchedule("S4")
+	s5 := s.AddSchedule("S5")
+
+	s.AddRoot("T1", "STop1")
+	s.AddRoot("T2", "STop2")
+	s.AddRoot("T3", "STop3")
+	s.AddTx("t1", "T1", "S4")
+	s.AddTx("t1b", "T1", "S5")
+	s.AddTx("t2", "T2", "S4")
+	s.AddTx("t3", "T3", "S5")
+	s.AddLeaf("o13", "t1")
+	s.AddLeaf("o25", "t2")
+	s.AddLeaf("p1", "t1b")
+	s.AddLeaf("p2", "t3")
+
+	s4.AddConflict("o13", "o25")
+	s4.WeakOut.Add("o13", "o25")
+	s5.AddConflict("p1", "p2")
+	s5.WeakOut.Add("p2", "p1")
+	return s
+}
+
+// Figure3System builds the incorrect execution of paper Figure 3 (§3.6).
+//
+// Two roots in different top schedules interfere only through transitive
+// dependencies on a shared bottom schedule SD; the two conflicts pulled up
+// into the level 1 front relate transaction pairs originating on different
+// schedules, so they persist pessimistically all the way up, and at the
+// final step no isolated execution (calculation) for T1 can be constructed:
+//
+//	STop1 (level 3) schedules T1: ops p1 (SA), q1 (SB)
+//	STop2 (level 3) schedules T2: ops p2 (SA), q2 (SB)
+//	SA (level 2): ops up1 (of p1), up2 (of p2), transactions of SD
+//	SB (level 2): ops uq1 (of q1), uq2 (of q2), transactions of SD
+//	SD (level 1): leaves a1 (of up1), a2 (of uq2): CON, a1 ≺ a2
+//	              leaves b1 (of uq1), b2 (of up2): CON, b2 ≺ b1
+//
+// The reduction reaches the level 2 front with observed order
+// p1 <o q2 and p2 <o q1 and then fails: isolating T1 = {p1, q1} and
+// T2 = {p2, q2} requires T1 before T2 (p1 <o q2) and T2 before T1
+// (p2 <o q1) simultaneously.
+func Figure3System() *model.System {
+	s := model.NewSystem()
+	s.AddSchedule("STop1")
+	s.AddSchedule("STop2")
+	s.AddSchedule("SA")
+	s.AddSchedule("SB")
+	sd := s.AddSchedule("SD")
+
+	s.AddRoot("T1", "STop1")
+	s.AddRoot("T2", "STop2")
+	s.AddTx("p1", "T1", "SA")
+	s.AddTx("q1", "T1", "SB")
+	s.AddTx("p2", "T2", "SA")
+	s.AddTx("q2", "T2", "SB")
+	s.AddTx("up1", "p1", "SD")
+	s.AddTx("up2", "p2", "SD")
+	s.AddTx("uq1", "q1", "SD")
+	s.AddTx("uq2", "q2", "SD")
+	s.AddLeaf("a1", "up1")
+	s.AddLeaf("a2", "uq2")
+	s.AddLeaf("b1", "uq1")
+	s.AddLeaf("b2", "up2")
+
+	sd.AddConflict("a1", "a2")
+	sd.WeakOut.Add("a1", "a2")
+	sd.AddConflict("b1", "b2")
+	sd.WeakOut.Add("b2", "b1")
+	return s
+}
+
+// Figure4System builds the correct execution of paper Figure 4 (§3.7).
+//
+// The configuration has the same interference pattern as Figure 3, but the
+// two roots are transactions of one common top schedule STop, and STop
+// declares no conflict between its operations. When the final reduction
+// step absorbs those operations, the observed orders obtained in the
+// previous step are between operations of a common schedule that vouches
+// for commutativity — so they are forgotten, the roots can be isolated,
+// and the reduction reaches a level 3 front containing only T1 and T2.
+func Figure4System() *model.System {
+	s := model.NewSystem()
+	s.AddSchedule("STop")
+	s.AddSchedule("SA")
+	s.AddSchedule("SB")
+	sd := s.AddSchedule("SD")
+
+	s.AddRoot("T1", "STop")
+	s.AddRoot("T2", "STop")
+	s.AddTx("p1", "T1", "SA")
+	s.AddTx("q1", "T1", "SB")
+	s.AddTx("p2", "T2", "SA")
+	s.AddTx("q2", "T2", "SB")
+	s.AddTx("up1", "p1", "SD")
+	s.AddTx("up2", "p2", "SD")
+	s.AddTx("uq1", "q1", "SD")
+	s.AddTx("uq2", "q2", "SD")
+	s.AddLeaf("a1", "up1")
+	s.AddLeaf("a2", "uq2")
+	s.AddLeaf("b1", "uq1")
+	s.AddLeaf("b2", "up2")
+
+	sd.AddConflict("a1", "a2")
+	sd.WeakOut.Add("a1", "a2")
+	sd.AddConflict("b1", "b2")
+	sd.WeakOut.Add("b2", "b1")
+	// STop declares no conflicts between p1, q1, p2, q2: it knows its
+	// operations commute, which is what makes the execution correct.
+	return s
+}
+
+// Figure1System builds a general configuration in the spirit of paper
+// Figure 1: transactions of different heights, schedules with both leaf and
+// transaction operations, and two roots (like T4, T5 in the figure) that
+// share no schedule. The recorded execution is Comp-C.
+func Figure1System() *model.System {
+	s := model.NewSystem()
+	s.AddSchedule("S1")       // level 3
+	s.AddSchedule("S2")       // level 2
+	s.AddSchedule("S3")       // level 2
+	s4 := s.AddSchedule("S4") // level 1
+	s5 := s.AddSchedule("S5") // level 1
+
+	// T4 is tall: root in S1, descending through S2 to S4.
+	s.AddRoot("T4", "S1")
+	s.AddTx("t41", "T4", "S2")
+	s.AddLeaf("o42", "T4") // S1 also has a leaf operation
+	s.AddTx("t411", "t41", "S4")
+	s.AddLeaf("o4111", "t411")
+
+	// T5 is short: root in S3, straight to S4 and S5.
+	s.AddRoot("T5", "S3")
+	s.AddTx("t51", "T5", "S4")
+	s.AddTx("t52", "T5", "S5")
+	s.AddLeaf("o511", "t51")
+	s.AddLeaf("o521", "t52")
+
+	// T6 shares S5 with T5.
+	s.AddRoot("T6", "S3")
+	s.AddTx("t61", "T6", "S5")
+	s.AddLeaf("o611", "t61")
+
+	// Interference: T4 and T5 meet at S4; T5 and T6 meet at S5.
+	s4.AddConflict("o4111", "o511")
+	s4.WeakOut.Add("o4111", "o511")
+	s5.AddConflict("o521", "o611")
+	s5.WeakOut.Add("o521", "o611")
+
+	// S3 schedules both T5 and T6 and knows its operations' orders; S3's
+	// operations t51, t52, t61 carry no declared conflicts.
+	return s
+}

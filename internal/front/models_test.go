@@ -1,0 +1,292 @@
+package front_test
+
+import (
+	"fmt"
+	"testing"
+
+	"compositetx/internal/criteria"
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+)
+
+// The paper's §4: "in [AFPS99] it is shown how the stack, fork and join
+// can be used to model a variety of transaction models like federated
+// transactions, the ticket method for federated transaction management,
+// sagas and distributed transactions. The results in this paper show that
+// Comp-C is a framework where all these models can be understood and
+// compared." This file builds those models and checks the claims.
+
+// sagaExecution models two sagas whose steps interleave at the database.
+// A saga is a sequence of steps, each a transaction of its own; saga
+// semantics explicitly allows steps of different sagas to interleave. In
+// the composite model that is a two-level system whose top scheduler (the
+// saga manager) declares *no* conflicts between steps of different sagas —
+// it vouches for their commutativity at the saga level (compensation
+// handles the rest). The same recorded execution under ACID semantics
+// (conflicts declared at the top) is not serializable.
+func sagaExecution(sagaSemantics bool) *model.System {
+	s := model.NewSystem()
+	mgr := s.AddSchedule("SagaMgr")
+	db := s.AddSchedule("DB")
+
+	s.AddRoot("Saga1", "SagaMgr")
+	s.AddRoot("Saga2", "SagaMgr")
+	// Steps: Saga1 = (book, pay), Saga2 = (book, pay); both touch the same
+	// records at the DB, interleaved: s1.book, s2.book, s2.pay, s1.pay.
+	s.AddTx("s1.book", "Saga1", "DB")
+	s.AddTx("s1.pay", "Saga1", "DB")
+	s.AddTx("s2.book", "Saga2", "DB")
+	s.AddTx("s2.pay", "Saga2", "DB")
+	s.AddLeaf("w1b", "s1.book")
+	s.AddLeaf("w1p", "s1.pay")
+	s.AddLeaf("w2b", "s2.book")
+	s.AddLeaf("w2p", "s2.pay")
+
+	// The DB serializes the conflicting step pairs: bookings one way,
+	// payments the other (the classic interleaving sagas tolerate).
+	db.AddConflict("w1b", "w2b")
+	db.WeakOut.Add("w1b", "w2b")
+	db.AddConflict("w1p", "w2p")
+	db.WeakOut.Add("w2p", "w1p")
+
+	if !sagaSemantics {
+		// ACID composite transactions: the manager knows its steps
+		// conflict and records its execution order.
+		mgr.AddConflict("s1.book", "s2.book")
+		mgr.WeakOut.Add("s1.book", "s2.book")
+		mgr.AddConflict("s1.pay", "s2.pay")
+		mgr.WeakOut.Add("s2.pay", "s1.pay")
+		// Definition 4 item 7: pass the orders down as input orders.
+		db.WeakIn.Add("s1.book", "s2.book")
+		db.WeakIn.Add("s2.pay", "s1.pay")
+	}
+	return s
+}
+
+func TestSagaModel(t *testing.T) {
+	saga := sagaExecution(true)
+	if err := saga.Validate(); err != nil {
+		t.Fatalf("saga execution must validate: %v", err)
+	}
+	ok, err := front.IsCompC(saga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("interleaved sagas must be Comp-C under saga semantics (the manager vouches)")
+	}
+
+	acid := sagaExecution(false)
+	if err := acid.Validate(); err != nil {
+		t.Fatalf("ACID execution must validate: %v", err)
+	}
+	ok, err = front.IsCompC(acid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the same interleaving must NOT be Comp-C under ACID semantics")
+	}
+}
+
+// ticketedJoin models the ticket method for federated transaction
+// management: independent managers (U1, U2) run transactions against a
+// shared database; every subtransaction increments a ticket at the shared
+// database, making otherwise-invisible cross-manager dependencies explicit
+// as conflicts on the ticket. ticketOrder gives the order in which the
+// four subtransactions took their ticket; dataCrossed selects whether the
+// actual data accesses agree with it.
+func ticketedJoin(ticketOrder []string, dataCrossed bool) *model.System {
+	s := model.NewSystem()
+	db := s.AddSchedule("DB")
+	s.AddSchedule("U1")
+	s.AddSchedule("U2")
+	s.AddRoot("TA", "U1")
+	s.AddRoot("TB", "U2")
+	s.AddTx("ta1", "TA", "DB")
+	s.AddTx("ta2", "TA", "DB")
+	s.AddTx("tb1", "TB", "DB")
+	s.AddTx("tb2", "TB", "DB")
+	for _, sub := range []string{"ta1", "ta2", "tb1", "tb2"} {
+		s.AddLeaf(model.NodeID(sub+".tkt"), model.NodeID(sub)) // the ticket access
+		s.AddLeaf(model.NodeID(sub+".w"), model.NodeID(sub))   // the real work
+	}
+	// Tickets conflict pairwise and are ordered by ticketOrder.
+	for i, a := range ticketOrder {
+		for _, b := range ticketOrder[i+1:] {
+			db.AddConflict(model.NodeID(a+".tkt"), model.NodeID(b+".tkt"))
+			db.WeakOut.Add(model.NodeID(a+".tkt"), model.NodeID(b+".tkt"))
+		}
+	}
+	// The real work: ta1 and tb1 touch record r1; ta2 and tb2 touch r2.
+	db.AddConflict("ta1.w", "tb1.w")
+	db.AddConflict("ta2.w", "tb2.w")
+	db.WeakOut.Add("ta1.w", "tb1.w") // TA before TB on r1
+	if dataCrossed {
+		db.WeakOut.Add("tb2.w", "ta2.w") // TB before TA on r2: crossed
+	} else {
+		db.WeakOut.Add("ta2.w", "tb2.w")
+	}
+	return s
+}
+
+func TestTicketMethodModel(t *testing.T) {
+	// Consistent: tickets taken TA-first, data accesses agree.
+	good := ticketedJoin([]string{"ta1", "ta2", "tb1", "tb2"}, false)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("ticketed execution must validate: %v", err)
+	}
+	ok, err := front.IsCompC(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ticket-consistent execution must be Comp-C")
+	}
+	jcc, err := criteria.IsJCC(good)
+	if err != nil || !jcc {
+		t.Fatalf("ticket-consistent execution must be JCC: %v, %v", jcc, err)
+	}
+
+	// Crossed data accesses: without tickets this is the undetectable
+	// ghost cycle; with tickets the crossed pair contradicts the total
+	// ticket order and the execution is rejected.
+	bad := ticketedJoin([]string{"ta1", "ta2", "tb1", "tb2"}, true)
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("crossed ticketed execution must validate: %v", err)
+	}
+	ok, err = front.IsCompC(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ticket-inconsistent execution must not be Comp-C")
+	}
+	jcc, err = criteria.IsJCC(bad)
+	if err != nil || jcc {
+		t.Fatalf("ticket-inconsistent execution must fail JCC: %v, %v", jcc, err)
+	}
+}
+
+// TestTicketMethodMakesOrderTotal: the point of tickets is that *any* two
+// federated transactions become ghost-graph comparable, so local managers
+// can be validated without global knowledge. Without tickets two
+// transactions touching disjoint records are unrelated; with tickets they
+// are ordered.
+func TestTicketMethodMakesOrderTotal(t *testing.T) {
+	sys := ticketedJoin([]string{"ta1", "tb1", "ta2", "tb2"}, false)
+	shape, okShape := criteria.AsJoin(sys)
+	if !okShape {
+		t.Fatal("ticketed system is a join")
+	}
+	g := criteria.GhostGraph(sys, shape)
+	if !(g.Has("TA", "TB") || g.Has("TB", "TA")) {
+		t.Fatalf("tickets must relate the roots in the ghost graph: %v", g.Pairs())
+	}
+}
+
+// TestDistributedTransactionAsFork models distributed transactions as a
+// fork: a coordinator splits work across independent resource managers.
+//
+// Two readings, with instructively different outcomes:
+//
+//  1. Autonomous semantics (the fork of Definition 23): the coordinator
+//     declares no conflicts across its operations — it vouches for their
+//     commutativity. Then even *disagreeing* branch serializations (RM1
+//     puts T1 first, RM2 puts T2 first) are correct: each branch is
+//     locally serializable and the vouched commutativity makes the
+//     orders irrelevant. FCC and Comp-C agree (Theorem 3).
+//
+//  2. Strict ACID semantics: the coordinator declares its branch
+//     operations conflicting. Definition 3 then *obliges* it to order
+//     them and Definition 4 item 7 pushes that order into the managers as
+//     input orders — so a branch serializing against the coordinator is
+//     not an expressible well-formed execution at all: Validate rejects
+//     it. Strictness is enforced by the model's obligations, not by the
+//     reduction.
+func TestDistributedTransactionAsFork(t *testing.T) {
+	build := func(crossed, acid bool) *model.System {
+		s := model.NewSystem()
+		coord := s.AddSchedule("Coord")
+		r1 := s.AddSchedule("RM1")
+		r2 := s.AddSchedule("RM2")
+		s.AddRoot("T1", "Coord")
+		s.AddRoot("T2", "Coord")
+		s.AddTx("t1a", "T1", "RM1")
+		s.AddTx("t1b", "T1", "RM2")
+		s.AddTx("t2a", "T2", "RM1")
+		s.AddTx("t2b", "T2", "RM2")
+		s.AddLeaf("x1", "t1a")
+		s.AddLeaf("x2", "t2a")
+		s.AddLeaf("y1", "t1b")
+		s.AddLeaf("y2", "t2b")
+		r1.AddConflict("x1", "x2")
+		r1.WeakOut.Add("x1", "x2") // RM1 serializes T1 before T2
+		r2.AddConflict("y1", "y2")
+		if crossed {
+			r2.WeakOut.Add("y2", "y1") // RM2 disagrees
+		} else {
+			r2.WeakOut.Add("y1", "y2")
+		}
+		if acid {
+			// The coordinator knows same-branch operations conflict and
+			// records T1-first; Definition 4 item 7 propagation included.
+			coord.AddConflict("t1a", "t2a")
+			coord.WeakOut.Add("t1a", "t2a")
+			r1.WeakIn.Add("t1a", "t2a")
+			coord.AddConflict("t1b", "t2b")
+			coord.WeakOut.Add("t1b", "t2b")
+			r2.WeakIn.Add("t1b", "t2b")
+		}
+		return s
+	}
+
+	// Autonomous: both variants are well-formed and correct.
+	for _, crossed := range []bool{false, true} {
+		sys := build(crossed, false)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("autonomous crossed=%v must validate: %v", crossed, err)
+		}
+		fcc, err := criteria.IsFCC(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compC, err := front.IsCompC(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fcc || !compC {
+			t.Fatalf("autonomous crossed=%v: fcc=%v compC=%v, want both true (the coordinator vouches)", crossed, fcc, compC)
+		}
+	}
+
+	// ACID: the aligned execution is correct; the crossed one is not even
+	// a well-formed recording (RM2 violated its input order).
+	aligned := build(false, true)
+	if err := aligned.Validate(); err != nil {
+		t.Fatalf("ACID aligned must validate: %v", err)
+	}
+	if ok, err := front.IsCompC(aligned); err != nil || !ok {
+		t.Fatalf("ACID aligned must be Comp-C: %v, %v", ok, err)
+	}
+	crossed := build(true, true)
+	if err := crossed.Validate(); err == nil {
+		t.Fatal("ACID crossed must be rejected by Validate (Def 3.1a violated at RM2)")
+	}
+}
+
+// TestModelsAreDisjointCriteria documents that the saga and ACID readings
+// of one interleaving differ exactly in the top schedule's conflict
+// declaration — nothing else.
+func TestModelsAreDisjointCriteria(t *testing.T) {
+	saga, acid := sagaExecution(true), sagaExecution(false)
+	if fmt.Sprint(saga.Schedule("DB").WeakOut.Pairs()) != fmt.Sprint(acid.Schedule("DB").WeakOut.Pairs()) {
+		t.Fatal("DB behaviour must be identical in both readings")
+	}
+	if saga.Schedule("SagaMgr").Conflicts.Len() != 0 {
+		t.Fatal("saga manager must declare no conflicts")
+	}
+	if acid.Schedule("SagaMgr").Conflicts.Len() == 0 {
+		t.Fatal("ACID manager must declare conflicts")
+	}
+}

@@ -1,0 +1,284 @@
+package front
+
+import (
+	"fmt"
+
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// FailureKind classifies why a reduction step could not be completed.
+type FailureKind int
+
+const (
+	// FailNone means the step succeeded.
+	FailNone FailureKind = iota
+	// FailCalculation means some transaction has contradictory internal
+	// constraints: no isolated execution sequence involving all of its
+	// operations exists (Definition 14).
+	FailCalculation
+	// FailIsolation means the transactions being reduced cannot all be
+	// made contiguous: the quotient constraint graph is cyclic, i.e. the
+	// rearranged front F** of Definition 16 step 1 does not exist.
+	FailIsolation
+	// FailCC means the new front violates conflict consistency
+	// (Definition 13, checked by Definition 16 step 6).
+	FailCC
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "ok"
+	case FailCalculation:
+		return "no calculation (cyclic constraints inside a transaction)"
+	case FailIsolation:
+		return "no isolated rearrangement (cycle between transactions)"
+	case FailCC:
+		return "front not conflict consistent"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// Step performs one reduction step (Definition 16): it builds the level
+// f.Level+1 front from f by replacing the operations of every schedule of
+// that level with the schedule's transactions. It reports failure when the
+// rearranged front F** does not exist or the new front is not conflict
+// consistent; on failure the returned front is nil.
+//
+// levels must come from sys.Levels(); sys must be normalized.
+func Step(sys *model.System, f *Front, levels map[model.ScheduleID]int) (*Front, *StepReport) {
+	level := f.Level + 1
+	rep := &StepReport{Level: level}
+
+	// Schedules reduced at this level, in deterministic order.
+	var scheds []*model.Schedule
+	for _, sc := range sys.Schedules() {
+		if levels[sc.ID] == level {
+			scheds = append(scheds, sc)
+		}
+	}
+
+	// groupOf maps every operation being reduced to its parent transaction;
+	// every other front node is its own singleton group.
+	groupOf := make(map[model.NodeID]model.NodeID)
+	var newTx []model.NodeID
+	for _, sc := range scheds {
+		for _, t := range sys.Transactions(sc.ID) {
+			newTx = append(newTx, t)
+			for _, op := range sys.Children(t) {
+				if !f.Has(op) {
+					// Cannot happen in a well-formed system: operations of a
+					// level-i schedule are leaves or transactions of lower
+					// levels, all present in the level i-1 front.
+					panic(fmt.Sprintf("front: op %s of %s not in level %d front", op, t, f.Level))
+				}
+				groupOf[op] = t
+			}
+		}
+	}
+	rep.Reduced = append([]model.NodeID(nil), newTx...)
+
+	group := func(n model.NodeID) model.NodeID {
+		if g, ok := groupOf[n]; ok {
+			return g
+		}
+		return n
+	}
+
+	// --- Definition 16 step 1: does the rearranged front F** exist? --------
+	//
+	// Constraint relation E (interpretation D3): observed-order pairs
+	// between generalized-conflicting nodes, strong input orders between
+	// front elements, each reduced schedule's weak output order restricted
+	// to conflicting pairs, and each reduced transaction's weak
+	// intra-transaction order. Pairs outside E commute and may be
+	// reordered freely: Definition 16 step 1 permits "changing the order
+	// of commuting pairs", and an observed-order pair between operations
+	// of one common schedule that declares no conflict is exactly such a
+	// commuting pair — the schedule vouches for commutativity (the
+	// "forgotten" orders of the paper's Figure 4 walkthrough).
+	e := order.New[model.NodeID]()
+	f.Obs.Each(func(a, b model.NodeID) {
+		if f.Con.Has(a, b) {
+			e.Add(a, b)
+		}
+	})
+	e.Union(f.StrongIn)
+	for _, sc := range scheds {
+		sc.Conflicts.Each(func(a, b model.NodeID) {
+			if sc.WeakOut.Has(a, b) {
+				e.Add(a, b)
+			}
+			if sc.WeakOut.Has(b, a) {
+				e.Add(b, a)
+			}
+		})
+	}
+	for _, t := range newTx {
+		n := sys.Node(t)
+		if n.WeakIntra != nil {
+			e.Union(n.WeakIntra)
+		}
+	}
+	for n := range f.nodes {
+		e.AddNode(n)
+	}
+
+	ok, badGroup, qCycle := e.GroupableBy(group)
+	if !ok {
+		if badGroup != "" {
+			rep.Failure = FailCalculation
+			rep.BadTransaction = badGroup
+			inner := e.Restrict(func(n model.NodeID) bool { return group(n) == badGroup })
+			rep.Cycle = inner.FindCycle()
+		} else {
+			rep.Failure = FailIsolation
+			rep.Cycle = qCycle
+		}
+		return nil, rep
+	}
+
+	// --- Definition 16 steps 2–5: build the new front. ----------------------
+	nf := &Front{
+		Level:    level,
+		nodes:    make(map[model.NodeID]struct{}),
+		Obs:      order.New[model.NodeID](),
+		Con:      model.NewPairSet(),
+		WeakIn:   order.New[model.NodeID](),
+		StrongIn: order.New[model.NodeID](),
+	}
+	for n := range f.nodes {
+		if _, reduced := groupOf[n]; !reduced {
+			nf.nodes[n] = struct{}{} // survivors, including roots (step 5)
+		}
+	}
+	for _, t := range newTx {
+		nf.nodes[t] = struct{}{}
+	}
+	for n := range nf.nodes {
+		nf.Obs.AddNode(n)
+	}
+
+	// Observed order, step 3/4 (interpretation D2):
+	//
+	// (a) Definition 10 rule 2 at each reduced schedule: conflicting
+	// operations ordered by the schedule induce observed order between
+	// their parents.
+	for _, sc := range scheds {
+		sc.Conflicts.Each(func(a, b model.NodeID) {
+			pa, pb := group(a), group(b)
+			if pa == pb {
+				return
+			}
+			if sc.WeakOut.Has(a, b) {
+				nf.Obs.Add(pa, pb)
+			}
+			if sc.WeakOut.Has(b, a) {
+				nf.Obs.Add(pb, pa)
+			}
+		})
+	}
+
+	// (b) Lift existing observed-order pairs. A pair whose endpoints are
+	// both operations of one common schedule is kept only if that schedule
+	// declares a conflict — otherwise the schedule vouches for
+	// commutativity and the order is forgotten (Definition 10 rules 2–3,
+	// the paper's Figure 4 walkthrough). All other pairs propagate
+	// (rule 3), lifted on the reduced side(s).
+	f.Obs.Each(func(a, b model.NodeID) {
+		la, lb := group(a), group(b)
+		if la == lb {
+			return
+		}
+		_, ra := groupOf[a]
+		_, rb := groupOf[b]
+		if ra && rb {
+			sa, sb := sys.OpSchedule(a), sys.OpSchedule(b)
+			if sa == sb && sa != "" {
+				if !sys.Schedule(sa).Conflict(a, b) {
+					return // forgotten: common schedule, no conflict
+				}
+			}
+		}
+		nf.Obs.Add(la, lb)
+	})
+
+	// (c) Definition 10 rule 1 for pairs involving the new nodes: a new
+	// node that shares its operation-schedule with a leaf front node is
+	// observed-ordered as that schedule's weak output order.
+	for _, t := range newTx {
+		st := sys.OpSchedule(t)
+		if st == "" {
+			continue // root transaction
+		}
+		sc := sys.Schedule(st)
+		for other := range nf.nodes {
+			if other == t || sys.OpSchedule(other) != st {
+				continue
+			}
+			if !sys.Node(other).IsLeaf() && !sys.Node(t).IsLeaf() {
+				continue // rule 1 needs at least one leaf in the pair
+			}
+			if sc.WeakOut.Has(t, other) {
+				nf.Obs.Add(t, other)
+			}
+			if sc.WeakOut.Has(other, t) {
+				nf.Obs.Add(other, t)
+			}
+		}
+	}
+
+	nf.Obs = nf.Obs.TransitiveClosure() // rule 4
+
+	// Input orders, step 6: keep surviving pairs, add the reduced
+	// schedules' input orders over their transactions.
+	f.WeakIn.Each(func(a, b model.NodeID) {
+		if nf.Has(a) && nf.Has(b) {
+			nf.WeakIn.Add(a, b)
+		}
+	})
+	f.StrongIn.Each(func(a, b model.NodeID) {
+		if nf.Has(a) && nf.Has(b) {
+			nf.StrongIn.Add(a, b)
+		}
+	})
+	for _, sc := range scheds {
+		sc.WeakIn.Each(func(a, b model.NodeID) { nf.WeakIn.Add(a, b) })
+		sc.StrongIn.Each(func(a, b model.NodeID) { nf.StrongIn.Add(a, b) })
+	}
+
+	// Generalized conflicts (Definition 11), recomputed over the new front:
+	// same-schedule pairs use the schedule's predicate; cross-schedule
+	// pairs conflict iff observed-ordered.
+	recomputeCon(sys, nf)
+
+	// Definition 16 step 6: the new front must be conflict consistent.
+	if !nf.IsCC() {
+		rep.Failure = FailCC
+		rep.Cycle = nf.ccCycle()
+		return nil, rep
+	}
+	return nf, rep
+}
+
+// recomputeCon rebuilds the generalized conflict relation of a front per
+// Definition 11.
+func recomputeCon(sys *model.System, f *Front) {
+	f.Con = model.NewPairSet()
+	nodes := f.Nodes()
+	for i, a := range nodes {
+		sa := sys.OpSchedule(a)
+		for _, b := range nodes[i+1:] {
+			sb := sys.OpSchedule(b)
+			if sa != "" && sa == sb {
+				if sys.Schedule(sa).Conflict(a, b) {
+					f.Con.Add(a, b)
+				}
+			} else if f.Obs.Has(a, b) || f.Obs.Has(b, a) {
+				f.Con.Add(a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package history
+
+import (
+	"testing"
+
+	"compositetx/internal/front"
+)
+
+// TestFlatCompCEqualsCSR: an order-1 composite system is a flat history,
+// and Comp-C degenerates to conflict serializability — the sanity anchor
+// tying the paper's criterion to classical theory.
+func TestFlatCompCEqualsCSR(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		h := Random(GenParams{
+			Txs: 2 + int(seed%3), OpsPerTx: 3, Items: 1 + int(seed%3),
+			WriteRatio: 0.2 + 0.5*float64(seed%3)/3,
+			Seed:       seed,
+		})
+		sys := h.ToSystem(ConflictsRW)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: converted system must validate: %v", seed, err)
+		}
+		compC, err := front.IsCompC(sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if csr := h.IsCSR(); compC != csr {
+			t.Fatalf("seed %d: Comp-C=%v but CSR=%v for %s", seed, compC, csr, h)
+		}
+	}
+}
+
+// TestFlatCompCEqualsSemanticSR: the same equivalence under the semantic
+// commutativity relation.
+func TestFlatCompCEqualsSemanticSR(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		h := Random(GenParams{
+			Txs: 3, OpsPerTx: 3, Items: 2,
+			WriteRatio: 0.3, IncRatio: 0.4,
+			Seed: seed,
+		})
+		sem := func(a, b Op) bool { return !Commutes(a, b) }
+		sys := h.ToSystem(sem)
+		compC, err := front.IsCompC(sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ssr := h.IsSemanticSR(); compC != ssr {
+			t.Fatalf("seed %d: Comp-C=%v but semantic SR=%v for %s", seed, compC, ssr, h)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenParams configures Random.
+type GenParams struct {
+	Txs        int // number of transactions
+	OpsPerTx   int
+	Items      int     // size of the item universe
+	WriteRatio float64 // probability an op is a write
+	IncRatio   float64 // probability an op is an increment (checked before WriteRatio)
+	Seed       int64
+}
+
+// Random generates a random interleaved history: each transaction issues
+// OpsPerTx operations over a shared item universe, and the per-transaction
+// streams are interleaved uniformly at random.
+func Random(p GenParams) *History {
+	if p.Txs < 1 || p.OpsPerTx < 1 || p.Items < 1 {
+		panic("history: GenParams must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	remaining := make([]int, p.Txs)
+	for i := range remaining {
+		remaining[i] = p.OpsPerTx
+	}
+	total := p.Txs * p.OpsPerTx
+	h := &History{Ops: make([]Op, 0, total)}
+	for len(h.Ops) < total {
+		// Pick a transaction with remaining operations, weighted equally.
+		i := rng.Intn(p.Txs)
+		for remaining[i] == 0 {
+			i = (i + 1) % p.Txs
+		}
+		remaining[i]--
+		kind := Read
+		switch r := rng.Float64(); {
+		case r < p.IncRatio:
+			kind = Increment
+		case r < p.IncRatio+p.WriteRatio:
+			kind = Write
+		}
+		h.Ops = append(h.Ops, Op{
+			Tx:   TxID(fmt.Sprintf("t%d", i+1)),
+			Kind: kind,
+			Item: fmt.Sprintf("x%d", rng.Intn(p.Items)+1),
+		})
+	}
+	return h
+}

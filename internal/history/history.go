@@ -1,0 +1,264 @@
+// Package history implements classical flat transaction histories —
+// read/write operations over named items, serialization graphs, conflict
+// serializability (CSR) and a brute-force view-serializability oracle.
+//
+// It serves two purposes in the reproduction: it is the single-scheduler
+// baseline the paper's model generalizes (an order-1 composite system is
+// exactly a flat history, which TestFlatCompCEqualsCSR verifies), and it is
+// the "no semantic knowledge" comparison point for the commutativity
+// experiments: a flat scheduler must treat every read/write overlap as a
+// conflict, while a composite system's higher schedules can declare
+// commutativity.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// TxID identifies a flat transaction.
+type TxID string
+
+// Kind is the operation kind.
+type Kind int
+
+const (
+	// Read reads an item; reads of the same item commute.
+	Read Kind = iota
+	// Write writes an item; conflicts with reads and writes of the item.
+	Write
+	// Increment adds a delta to a numeric item; increments of the same
+	// item commute with each other but conflict with reads and writes.
+	// Flat CSR schedulers typically implement increments as read-modify-
+	// write and lose that commutativity; Commutes keeps it, which is the
+	// semantic-knowledge lever the composite experiments measure.
+	Increment
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case Increment:
+		return "i"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one operation of a history.
+type Op struct {
+	Tx   TxID
+	Kind Kind
+	Item string
+}
+
+func (o Op) String() string { return fmt.Sprintf("%s%s(%s)", o.Kind, o.Tx, o.Item) }
+
+// Commutes reports whether two operations commute under full semantic
+// knowledge: different items always commute; reads commute with reads;
+// increments commute with increments.
+func Commutes(a, b Op) bool {
+	if a.Item != b.Item {
+		return true
+	}
+	if a.Kind == Read && b.Kind == Read {
+		return true
+	}
+	if a.Kind == Increment && b.Kind == Increment {
+		return true
+	}
+	return false
+}
+
+// ConflictsRW reports the classical read/write conflict relation, with
+// increments treated as writes (read-modify-write): this is what a flat
+// scheduler without semantic knowledge must assume.
+func ConflictsRW(a, b Op) bool {
+	if a.Item != b.Item {
+		return false
+	}
+	ka, kb := a.Kind, b.Kind
+	if ka == Increment {
+		ka = Write
+	}
+	if kb == Increment {
+		kb = Write
+	}
+	return ka == Write || kb == Write
+}
+
+// History is a totally ordered sequence of operations (a flat schedule).
+type History struct {
+	Ops []Op
+}
+
+// Transactions returns the distinct transaction IDs in first-occurrence
+// order.
+func (h *History) Transactions() []TxID {
+	seen := map[TxID]bool{}
+	var out []TxID
+	for _, o := range h.Ops {
+		if !seen[o.Tx] {
+			seen[o.Tx] = true
+			out = append(out, o.Tx)
+		}
+	}
+	return out
+}
+
+// SerializationGraph builds the conflict-serialization graph under the
+// given conflict predicate: an edge t -> t' whenever an operation of t
+// conflicts with a later operation of t'.
+func (h *History) SerializationGraph(conflicts func(a, b Op) bool) *order.Relation[TxID] {
+	g := order.New[TxID]()
+	for _, t := range h.Transactions() {
+		g.AddNode(t)
+	}
+	for i, a := range h.Ops {
+		for _, b := range h.Ops[i+1:] {
+			if a.Tx != b.Tx && conflicts(a, b) {
+				g.Add(a.Tx, b.Tx)
+			}
+		}
+	}
+	return g
+}
+
+// IsCSR reports conflict serializability under the classical read/write
+// conflict relation.
+func (h *History) IsCSR() bool {
+	return h.SerializationGraph(ConflictsRW).IsAcyclic()
+}
+
+// IsSemanticSR reports conflict serializability under the full semantic
+// commutativity relation (increments commute).
+func (h *History) IsSemanticSR() bool {
+	return h.SerializationGraph(func(a, b Op) bool { return !Commutes(a, b) }).IsAcyclic()
+}
+
+// SerialWitness returns a serialization order of the transactions, or
+// ok=false if the history is not serializable under the predicate.
+func (h *History) SerialWitness(conflicts func(a, b Op) bool) ([]TxID, bool) {
+	return h.SerializationGraph(conflicts).TopoSort()
+}
+
+// String renders the history in the usual compact notation.
+func (h *History) String() string {
+	out := ""
+	for i, o := range h.Ops {
+		if i > 0 {
+			out += " "
+		}
+		out += o.String()
+	}
+	return out
+}
+
+// ToSystem converts the flat history into an order-1 composite system: one
+// schedule, one root transaction per flat transaction, one leaf per
+// operation, with the schedule's conflict predicate and weak output order
+// derived from the history under the given conflict relation. The paper's
+// Comp-C on this system coincides with conflict serializability under the
+// same relation.
+func (h *History) ToSystem(conflicts func(a, b Op) bool) *model.System {
+	sys := model.NewSystem()
+	sc := sys.AddSchedule("S")
+	for _, t := range h.Transactions() {
+		sys.AddRoot(model.NodeID(t), "S")
+	}
+	ids := make([]model.NodeID, len(h.Ops))
+	for i, o := range h.Ops {
+		ids[i] = model.NodeID(fmt.Sprintf("%s#%d:%s%s", o.Tx, i, o.Kind, o.Item))
+		sys.AddLeaf(ids[i], model.NodeID(o.Tx))
+	}
+	for i, a := range h.Ops {
+		for j := i + 1; j < len(h.Ops); j++ {
+			b := h.Ops[j]
+			if a.Tx != b.Tx && conflicts(a, b) {
+				sc.AddConflict(ids[i], ids[j])
+				sc.WeakOut.Add(ids[i], ids[j])
+			}
+		}
+	}
+	return sys
+}
+
+// readsFrom computes, for every read (and increment, which reads), the
+// writer transaction it observes ("" for the initial state), plus the
+// final writer per item — the view of the history.
+func (h *History) view() (reads []string, finals map[string]TxID) {
+	lastWriter := map[string]TxID{}
+	for _, o := range h.Ops {
+		switch o.Kind {
+		case Read:
+			reads = append(reads, fmt.Sprintf("%s<-%s@%s", o.Tx, lastWriter[o.Item], o.Item))
+		case Write, Increment:
+			if o.Kind == Increment {
+				reads = append(reads, fmt.Sprintf("%s<-%s@%s", o.Tx, lastWriter[o.Item], o.Item))
+			}
+			lastWriter[o.Item] = o.Tx
+		}
+	}
+	finals = lastWriter
+	return reads, finals
+}
+
+// IsVSR reports view serializability by brute force: some permutation of
+// the transactions, executed serially, has the same reads-from relation
+// and final writes. Exponential in the number of transactions; intended as
+// a test oracle for small histories (≤ 8 transactions).
+func (h *History) IsVSR() bool {
+	reads, finals := h.view()
+	txs := h.Transactions()
+	if len(txs) > 8 {
+		panic("history: IsVSR is a brute-force oracle; use ≤ 8 transactions")
+	}
+	byTx := map[TxID][]Op{}
+	for _, o := range h.Ops {
+		byTx[o.Tx] = append(byTx[o.Tx], o)
+	}
+	sortedReads := append([]string(nil), reads...)
+	sort.Strings(sortedReads)
+
+	var try func(rest []TxID, acc []Op) bool
+	try = func(rest []TxID, acc []Op) bool {
+		if len(rest) == 0 {
+			serial := History{Ops: acc}
+			sReads, sFinals := serial.view()
+			sort.Strings(sReads)
+			if len(sReads) != len(sortedReads) {
+				return false
+			}
+			for i := range sReads {
+				if sReads[i] != sortedReads[i] {
+					return false
+				}
+			}
+			if len(sFinals) != len(finals) {
+				return false
+			}
+			for item, w := range finals {
+				if sFinals[item] != w {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range rest {
+			next := append([]TxID(nil), rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			cand := append(append([]Op(nil), acc...), byTx[rest[i]]...)
+			if try(next, cand) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(txs, nil)
+}

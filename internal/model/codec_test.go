@@ -1,0 +1,114 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"compositetx/internal/order"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := buildGeneral(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped system should validate: %v", err)
+	}
+	if got, want := back.NumNodes(), s.NumNodes(); got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	if !back.Schedule("SD").Conflict("d1", "d2") {
+		t.Fatal("conflict lost in round trip")
+	}
+	if !back.Schedule("SD").WeakOut.Has("d1", "d2") {
+		t.Fatal("weak output order lost in round trip")
+	}
+	if back.Node("tm") == nil || back.Node("tm").Sched != "SM" {
+		t.Fatal("node tm lost or corrupted in round trip")
+	}
+}
+
+func TestJSONRoundTripIntraOrders(t *testing.T) {
+	s := NewSystem()
+	sc := s.AddSchedule("S")
+	s.AddRoot("T", "S")
+	s.AddLeaf("a", "T")
+	s.AddLeaf("b", "T")
+	s.Node("T").WeakIntra = order.FromPairs([2]NodeID{"a", "b"})
+	sc.WeakOut.Add("a", "b")
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node("T").WeakIntra == nil || !back.Node("T").WeakIntra.Has("a", "b") {
+		t.Fatal("intra order lost in round trip")
+	}
+}
+
+func TestDecodeRejectsDuplicates(t *testing.T) {
+	in := `{"schedules":[{"id":"S"},{"id":"S"}],"nodes":[]}`
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate schedule should fail to decode")
+	}
+	in = `{"schedules":[{"id":"S"}],"nodes":[{"id":"T","schedule":"S"},{"id":"T","schedule":"S"}]}`
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate node should fail to decode")
+	}
+}
+
+func TestDecodeRejectsOrphanNode(t *testing.T) {
+	in := `{"schedules":[{"id":"S"}],"nodes":[{"id":"X"}]}`
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("node without schedule and parent should fail to decode")
+	}
+}
+
+func TestDecodeRejectsMalformedJSON(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSON should fail")
+	}
+}
+
+func TestMarshalIsValidJSON(t *testing.T) {
+	s := buildStack(t)
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("MarshalJSON produced invalid JSON")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	s := buildGeneral(t)
+	var buf bytes.Buffer
+	if err := s.DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph composite", "cluster_", `label="SD"`, `"TA" [shape=doubleoctagon]`,
+		`"d1" -> "d2" [color=red`, `"tm" -> "td"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces (cheap well-formedness check).
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in DOT output")
+	}
+}

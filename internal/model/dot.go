@@ -1,0 +1,60 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT renders the composite system in Graphviz format: one cluster per
+// schedule containing its transactions, leaf operations as plain boxes,
+// the computational forest as solid edges, and each schedule's weak output
+// order on conflicting operation pairs as red arrows. Pipe through `dot
+// -Tsvg` to visualize an execution (cmd/compcheck -dot).
+func (s *System) DOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph composite {\n")
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n")
+
+	quote := func(id NodeID) string { return fmt.Sprintf("%q", string(id)) }
+
+	// Clusters: transactions grouped by their home schedule.
+	for i, sc := range s.Schedules() {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(&b, "    label=%q; style=rounded; color=gray60;\n", string(sc.ID))
+		for _, t := range s.Transactions(sc.ID) {
+			shape := "ellipse"
+			if s.Node(t).IsRoot() {
+				shape = "doubleoctagon"
+			}
+			fmt.Fprintf(&b, "    %s [shape=%s];\n", quote(t), shape)
+		}
+		b.WriteString("  }\n")
+	}
+	// Leaves.
+	for _, l := range s.Leaves() {
+		fmt.Fprintf(&b, "  %s [shape=box, style=filled, fillcolor=gray92];\n", quote(l))
+	}
+	// Forest edges.
+	for _, id := range s.NodeIDs() {
+		for _, k := range s.Children(id) {
+			fmt.Fprintf(&b, "  %s -> %s [color=gray50, arrowsize=0.6];\n", quote(id), quote(k))
+		}
+	}
+	// Conflicting weak output orders, per schedule.
+	for _, sc := range s.Schedules() {
+		sc.Conflicts.Each(func(x, y NodeID) {
+			switch {
+			case sc.WeakOut.Has(x, y):
+				fmt.Fprintf(&b, "  %s -> %s [color=red, constraint=false, label=\"≺\", fontcolor=red];\n", quote(x), quote(y))
+			case sc.WeakOut.Has(y, x):
+				fmt.Fprintf(&b, "  %s -> %s [color=red, constraint=false, label=\"≺\", fontcolor=red];\n", quote(y), quote(x))
+			default:
+				fmt.Fprintf(&b, "  %s -> %s [color=red, style=dashed, dir=none, constraint=false];\n", quote(x), quote(y))
+			}
+		})
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

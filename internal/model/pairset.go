@@ -1,0 +1,116 @@
+package model
+
+import "sort"
+
+// PairSet is a set of unordered, irreflexive pairs of node IDs. It stores
+// the symmetric conflict predicate CON_S of a schedule: Add(a,b) and
+// Add(b,a) are the same pair, and Add(a,a) is ignored (an operation cannot
+// conflict with itself in the model; self-conflicts would make every
+// execution incorrect).
+type PairSet struct {
+	m map[[2]NodeID]struct{}
+}
+
+// NewPairSet returns an empty set.
+func NewPairSet() *PairSet {
+	return &PairSet{m: make(map[[2]NodeID]struct{})}
+}
+
+func canonical(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// Add inserts the unordered pair {a, b}. Reflexive pairs are ignored.
+func (p *PairSet) Add(a, b NodeID) {
+	if a == b {
+		return
+	}
+	p.m[canonical(a, b)] = struct{}{}
+}
+
+// Has reports whether {a, b} is in the set. Has(a, a) is always false.
+func (p *PairSet) Has(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	_, ok := p.m[canonical(a, b)]
+	return ok
+}
+
+// Remove deletes the unordered pair {a, b}.
+func (p *PairSet) Remove(a, b NodeID) {
+	delete(p.m, canonical(a, b))
+}
+
+// RemoveInvolving deletes every pair with n as an endpoint.
+func (p *PairSet) RemoveInvolving(n NodeID) {
+	for k := range p.m {
+		if k[0] == n || k[1] == n {
+			delete(p.m, k)
+		}
+	}
+}
+
+// Len returns the number of pairs.
+func (p *PairSet) Len() int { return len(p.m) }
+
+// Pairs returns all pairs in canonical (lexicographic) order.
+func (p *PairSet) Pairs() [][2]NodeID {
+	out := make([][2]NodeID, 0, len(p.m))
+	for k := range p.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Each calls fn for every pair (in canonical orientation, unspecified
+// order). Mutation during iteration is not allowed.
+func (p *PairSet) Each(fn func(a, b NodeID)) {
+	for k := range p.m {
+		fn(k[0], k[1])
+	}
+}
+
+// Clone returns a deep copy.
+func (p *PairSet) Clone() *PairSet {
+	c := NewPairSet()
+	for k := range p.m {
+		c.m[k] = struct{}{}
+	}
+	return c
+}
+
+// Union adds every pair of other into p and returns p.
+func (p *PairSet) Union(other *PairSet) *PairSet {
+	if other == nil {
+		return p
+	}
+	for k := range other.m {
+		p.m[k] = struct{}{}
+	}
+	return p
+}
+
+// Involving returns the partners of n, sorted.
+func (p *PairSet) Involving(n NodeID) []NodeID {
+	var out []NodeID
+	for k := range p.m {
+		switch n {
+		case k[0]:
+			out = append(out, k[1])
+		case k[1]:
+			out = append(out, k[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

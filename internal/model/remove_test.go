@@ -1,0 +1,92 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRemoveTree(t *testing.T) {
+	s := buildGeneral(t)
+	before := s.NumNodes()
+	s.RemoveTree("TA") // TA, tm, td, d1, x
+	if got := s.NumNodes(); got != before-5 {
+		t.Fatalf("NumNodes = %d, want %d", got, before-5)
+	}
+	for _, id := range []NodeID{"TA", "tm", "td", "d1", "x"} {
+		if s.Node(id) != nil {
+			t.Errorf("node %s survived RemoveTree", id)
+		}
+	}
+	if s.Schedule("SD").Conflict("d1", "d2") {
+		t.Error("conflict involving removed node survived")
+	}
+	if s.Schedule("SD").WeakOut.Has("d1", "d2") {
+		t.Error("weak output pair involving removed node survived")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("pruned system must validate: %v", err)
+	}
+}
+
+func TestRemoveTreeSubtransaction(t *testing.T) {
+	s := buildGeneral(t)
+	s.RemoveTree("tm") // removes tm, td, d1; TA keeps x
+	if s.Node("tm") != nil || s.Node("d1") != nil {
+		t.Fatal("subtree not removed")
+	}
+	if s.Node("TA") == nil || s.Node("x") == nil {
+		t.Fatal("RemoveTree removed too much")
+	}
+	if got := s.Children("TA"); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Children(TA) = %v, want [x]", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveTreeUnknownIsNoop(t *testing.T) {
+	s := buildStack(t)
+	before := s.NumNodes()
+	s.RemoveTree("nope")
+	if s.NumNodes() != before {
+		t.Fatal("RemoveTree of unknown node changed the system")
+	}
+}
+
+func TestPairSetRemove(t *testing.T) {
+	p := NewPairSet()
+	p.Add("a", "b")
+	p.Remove("b", "a") // unordered
+	if p.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := buildStack(t)
+	if got := s.Schedule("S1").String(); !strings.Contains(got, "S1") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := map[string]func(){
+		"dup schedule":   func() { s := NewSystem(); s.AddSchedule("S"); s.AddSchedule("S") },
+		"dup node":       func() { s := NewSystem(); s.AddSchedule("S"); s.AddRoot("T", "S"); s.AddRoot("T", "S") },
+		"empty node id":  func() { s := NewSystem(); s.AddSchedule("S"); s.AddRoot("", "S") },
+		"tx no sched":    func() { s := NewSystem(); s.AddSchedule("S"); s.AddRoot("T", "S"); s.AddTx("t", "T", "") },
+		"tx no parent":   func() { s := NewSystem(); s.AddSchedule("S"); s.AddTx("t", "", "S") },
+		"leaf no parent": func() { s := NewSystem(); s.AddSchedule("S"); s.AddLeaf("a", "") },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestClosureSCCEdgeCases(t *testing.T) {
+	// Two-node cycle feeding a chain: every cycle member reaches itself,
+	// the other member, and the whole chain.
+	r := FromPairs(
+		[2]string{"a", "b"}, [2]string{"b", "a"},
+		[2]string{"b", "c"}, [2]string{"c", "d"},
+	)
+	tc := r.TransitiveClosure()
+	for _, p := range [][2]string{
+		{"a", "a"}, {"a", "b"}, {"b", "b"}, {"b", "a"},
+		{"a", "c"}, {"a", "d"}, {"b", "d"}, {"c", "d"},
+	} {
+		if !tc.Has(p[0], p[1]) {
+			t.Errorf("closure missing (%s,%s)", p[0], p[1])
+		}
+	}
+	for _, p := range [][2]string{{"c", "a"}, {"d", "a"}, {"c", "c"}, {"d", "d"}} {
+		if tc.Has(p[0], p[1]) {
+			t.Errorf("closure has spurious (%s,%s)", p[0], p[1])
+		}
+	}
+}
+
+func TestClosureSelfLoopOnly(t *testing.T) {
+	r := FromPairs([2]string{"x", "x"})
+	r.AddNode("y")
+	tc := r.TransitiveClosure()
+	if !tc.Has("x", "x") {
+		t.Fatal("self-loop must survive closure")
+	}
+	if tc.Has("y", "y") || tc.Len() != 1 {
+		t.Fatalf("closure = %v", tc.Pairs())
+	}
+}
+
+func TestClosureDisconnectedComponents(t *testing.T) {
+	r := FromPairs(
+		[2]string{"a", "b"},
+		[2]string{"x", "y"}, [2]string{"y", "z"},
+	)
+	tc := r.TransitiveClosure()
+	if tc.Has("a", "x") || tc.Has("b", "z") {
+		t.Fatal("closure crossed disconnected components")
+	}
+	if !tc.Has("x", "z") {
+		t.Fatal("closure missing within-component pair")
+	}
+}
+
+// TestClosureMatchesNaive cross-checks the bitset/SCC implementation
+// against a straightforward per-node DFS on random graphs.
+func TestClosureMatchesNaive(t *testing.T) {
+	naive := func(r *Relation[string]) *Relation[string] {
+		out := New[string]()
+		for _, n := range r.Nodes() {
+			out.AddNode(n)
+		}
+		for _, a := range r.Nodes() {
+			seen := map[string]bool{}
+			stack := append([]string(nil), r.Successors(a)...)
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				out.Add(a, n)
+				stack = append(stack, r.Successors(n)...)
+			}
+		}
+		return out
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, 3+rng.Intn(10), rng.Intn(25))
+		got := r.TransitiveClosure()
+		want := naive(r)
+		if !got.Equal(want) {
+			t.Fatalf("seed %d: closure mismatch\ngot  %v\nwant %v", seed, got.Pairs(), want.Pairs())
+		}
+	}
+}
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	for _, size := range []struct{ nodes, pairs int }{
+		{50, 100}, {200, 400}, {500, 1000},
+	} {
+		b.Run(fmt.Sprintf("n=%d_e=%d", size.nodes, size.pairs), func(b *testing.B) {
+			r := randomRelation(rand.New(rand.NewSource(1)), size.nodes, size.pairs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.TransitiveClosure()
+			}
+		})
+	}
+}

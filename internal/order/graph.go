@@ -1,0 +1,238 @@
+package order
+
+import "sort"
+
+// Reachable reports whether b is reachable from a via one or more pairs.
+func (r *Relation[T]) Reachable(a, b T) bool {
+	seen := make(map[T]struct{})
+	stack := []T{}
+	for n := range r.succ[a] {
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		for m := range r.succ[n] {
+			stack = append(stack, m)
+		}
+	}
+	return false
+}
+
+// HasCycle reports whether the relation, viewed as a directed graph,
+// contains a cycle (including self-pairs).
+func (r *Relation[T]) HasCycle() bool {
+	return r.FindCycle() != nil
+}
+
+// IsAcyclic is the negation of HasCycle; it matches the paper's phrasing
+// for conflict consistency (Definition 13).
+func (r *Relation[T]) IsAcyclic() bool { return !r.HasCycle() }
+
+// FindCycle returns the nodes of some cycle in order (the last node links
+// back to the first), or nil if the relation is acyclic. Node exploration is
+// lexicographic, so the reported cycle is deterministic. The cycle is used
+// for the human-readable incorrectness traces produced by internal/front.
+func (r *Relation[T]) FindCycle() []T {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := make(map[T]int, len(r.nodes))
+	parent := make(map[T]T)
+
+	var cycle []T
+	var dfs func(n T) bool
+	dfs = func(n T) bool {
+		color[n] = grey
+		for _, m := range r.Successors(n) {
+			switch color[m] {
+			case white:
+				parent[m] = n
+				if dfs(m) {
+					return true
+				}
+			case grey:
+				// Found a back edge n -> m: reconstruct the path m ... n.
+				cycle = []T{m}
+				for x := n; x != m; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse everything after the first element so the cycle
+				// reads in pair direction m -> ... -> n (-> m).
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+
+	for _, n := range r.Nodes() {
+		if color[n] == white {
+			if dfs(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// TopoSort returns the registered nodes in a topological order of the
+// relation, or ok=false if it is cyclic. Ties are broken lexicographically
+// (smallest available node first), so the order is deterministic; this is
+// the "topological sorting" step used in the proof of Theorem 1 to convert
+// an acyclic level-N front into a serial front.
+func (r *Relation[T]) TopoSort() (sorted []T, ok bool) {
+	indeg := make(map[T]int, len(r.nodes))
+	for n := range r.nodes {
+		indeg[n] = 0
+	}
+	r.Each(func(a, b T) {
+		if a != b {
+			indeg[b]++
+		} else {
+			indeg[b] = -1 << 30 // self-pair: poison, never becomes ready
+		}
+	})
+
+	ready := make([]T, 0, len(indeg))
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sortSlice(ready)
+
+	sorted = make([]T, 0, len(indeg))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		sorted = append(sorted, n)
+		newly := []T{}
+		for m := range r.succ[n] {
+			if m == n {
+				continue
+			}
+			indeg[m]--
+			if indeg[m] == 0 {
+				newly = append(newly, m)
+			}
+		}
+		if len(newly) > 0 {
+			sortSlice(newly)
+			ready = mergeSorted(ready, newly)
+		}
+	}
+	if len(sorted) != len(indeg) {
+		return nil, false
+	}
+	return sorted, true
+}
+
+// mergeSorted merges two lexicographically sorted slices.
+func mergeSorted[T ~string](a, b []T) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// SCCs returns the strongly connected components of the relation with at
+// least one internal pair (i.e. real cycles, including self-pairs), each
+// component sorted lexicographically, components ordered by their smallest
+// member. Used to report every independent inconsistency at once.
+func (r *Relation[T]) SCCs() [][]T {
+	// Tarjan's algorithm, iterative to avoid deep recursion on long chains.
+	index := make(map[T]int, len(r.nodes))
+	low := make(map[T]int, len(r.nodes))
+	onStack := make(map[T]bool, len(r.nodes))
+	var stack []T
+	next := 0
+	var comps [][]T
+
+	type frame struct {
+		n    T
+		succ []T
+		i    int
+	}
+
+	for _, start := range r.Nodes() {
+		if _, ok := index[start]; ok {
+			continue
+		}
+		frames := []frame{{n: start, succ: r.Successors(start)}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				m := f.succ[f.i]
+				f.i++
+				if _, ok := index[m]; !ok {
+					index[m] = next
+					low[m] = next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					frames = append(frames, frame{n: m, succ: r.Successors(m)})
+				} else if onStack[m] {
+					if index[m] < low[f.n] {
+						low[f.n] = index[m]
+					}
+				}
+				continue
+			}
+			// Finished f.n.
+			if low[f.n] == index[f.n] {
+				var comp []T
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp = append(comp, m)
+					if m == f.n {
+						break
+					}
+				}
+				if len(comp) > 1 || r.Has(comp[0], comp[0]) {
+					sortSlice(comp)
+					comps = append(comps, comp)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.n] < low[p.n] {
+					low[p.n] = low[f.n]
+				}
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

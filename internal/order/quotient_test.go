@@ -1,0 +1,157 @@
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// groupByPrefix groups node names by their first rune ("a1" -> "a").
+func groupByPrefix(n string) string { return n[:1] }
+
+func TestGroupableBySimple(t *testing.T) {
+	// Two groups a{a1,a2} and b{b1}: a1 -> b1 -> is fine, groups contiguous.
+	r := FromPairs([2]string{"a1", "a2"}, [2]string{"a2", "b1"})
+	ok, _, _ := r.GroupableBy(groupByPrefix)
+	if !ok {
+		t.Fatal("straight-line grouping should be possible")
+	}
+}
+
+func TestGroupableByInterleavingForced(t *testing.T) {
+	// a1 -> b1 -> a2 forces b1 in between a's operations: quotient cycle a<->b.
+	r := FromPairs([2]string{"a1", "b1"}, [2]string{"b1", "a2"})
+	ok, _, cyc := r.GroupableBy(groupByPrefix)
+	if ok {
+		t.Fatal("interleaving a1->b1->a2 must not be groupable")
+	}
+	if len(cyc) == 0 {
+		t.Fatal("expected a quotient cycle to be reported")
+	}
+	joined := strings.Join(cyc, "")
+	if !strings.Contains(joined, "a") || !strings.Contains(joined, "b") {
+		t.Fatalf("quotient cycle %v should involve groups a and b", cyc)
+	}
+}
+
+func TestGroupableByInternalCycle(t *testing.T) {
+	r := FromPairs([2]string{"a1", "a2"}, [2]string{"a2", "a1"})
+	ok, bad, _ := r.GroupableBy(groupByPrefix)
+	if ok {
+		t.Fatal("internally cyclic group must fail")
+	}
+	if bad != "a" {
+		t.Fatalf("bad group = %q, want a", bad)
+	}
+}
+
+func TestGroupedTopoSortContiguity(t *testing.T) {
+	r := FromPairs(
+		[2]string{"a1", "a2"},
+		[2]string{"a2", "b1"},
+		[2]string{"b1", "b2"},
+		[2]string{"c1", "b2"},
+	)
+	r.AddNode("c2")
+	sorted, ok := r.GroupedTopoSort(groupByPrefix)
+	if !ok {
+		t.Fatal("GroupedTopoSort failed on a groupable relation")
+	}
+	if len(sorted) != 6 {
+		t.Fatalf("sorted has %d nodes, want 6: %v", len(sorted), sorted)
+	}
+	assertContiguousGroups(t, sorted, groupByPrefix)
+	pos := map[string]int{}
+	for i, n := range sorted {
+		pos[n] = i
+	}
+	r.Each(func(a, b string) {
+		if pos[a] >= pos[b] {
+			t.Errorf("order violates pair (%s,%s): %v", a, b, sorted)
+		}
+	})
+}
+
+func TestGroupedTopoSortFailure(t *testing.T) {
+	r := FromPairs([2]string{"a1", "b1"}, [2]string{"b1", "a2"})
+	if _, ok := r.GroupedTopoSort(groupByPrefix); ok {
+		t.Fatal("GroupedTopoSort should fail when grouping is impossible")
+	}
+}
+
+func assertContiguousGroups(t *testing.T, sorted []string, groupOf func(string) string) {
+	t.Helper()
+	seen := map[string]bool{}
+	var cur string
+	for _, n := range sorted {
+		g := groupOf(n)
+		if g != cur {
+			if seen[g] {
+				t.Fatalf("group %q is not contiguous in %v", g, sorted)
+			}
+			seen[g] = true
+			cur = g
+		}
+	}
+}
+
+// Property: whenever GroupableBy says yes, GroupedTopoSort produces a valid
+// witness (contiguous groups, all pairs respected); whenever it says no,
+// GroupedTopoSort fails too.
+func TestGroupableByWitnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New[string]()
+		nodes := []string{}
+		for g := 0; g < 3; g++ {
+			for i := 0; i < 3; i++ {
+				n := fmt.Sprintf("%c%d", 'a'+g, i)
+				nodes = append(nodes, n)
+				r.AddNode(n)
+			}
+		}
+		for k := 0; k < 7; k++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if a != b {
+				r.Add(a, b)
+			}
+		}
+		ok, _, _ := r.GroupableBy(groupByPrefix)
+		sorted, sortOK := r.GroupedTopoSort(groupByPrefix)
+		if ok != sortOK {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		pos := map[string]int{}
+		for i, n := range sorted {
+			pos[n] = i
+		}
+		good := true
+		r.Each(func(a, b string) {
+			if pos[a] >= pos[b] {
+				good = false
+			}
+		})
+		// Contiguity.
+		cur, seen := "", map[string]bool{}
+		for _, n := range sorted {
+			g := groupByPrefix(n)
+			if g != cur {
+				if seen[g] {
+					good = false
+				}
+				seen[g] = true
+				cur = g
+			}
+		}
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+)
+
+var errBusiness = errors.New("insufficient funds")
+
+// TestClientAbortCompensates: a transaction that fails mid-way is
+// compensated exactly and leaves no trace in the recorded execution.
+func TestClientAbortCompensates(t *testing.T) {
+	for _, p := range realProtocols {
+		t.Run(p.String(), func(t *testing.T) {
+			rt := BankTopology().NewRuntime(p)
+			// Seed a balance.
+			if _, err := rt.Submit("T0", Invocation{Component: "bank", Steps: []Step{
+				{Invoke: &Invocation{Component: "east", Item: "acct", Mode: data.ModeIncr,
+					Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "acct", Arg: 100}}}}},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			// A transfer that debits, then aborts before crediting.
+			_, err := rt.Submit("T1", Invocation{Component: "bank", Steps: []Step{
+				{Invoke: &Invocation{Component: "east", Item: "acct", Mode: data.ModeIncr,
+					Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "acct", Arg: -40}}}}},
+				{Fail: errBusiness},
+			}})
+			if !errors.Is(err, ErrClientAbort) || !errors.Is(err, errBusiness) {
+				t.Fatalf("err = %v, want ErrClientAbort wrapping the business error", err)
+			}
+			if got := rt.Store("east").Get("acct"); got != 100 {
+				t.Fatalf("acct = %d, want 100 (debit compensated)", got)
+			}
+			m := rt.Metrics()
+			if m.Commits != 1 || m.ClientAborts != 1 {
+				t.Fatalf("metrics = %+v", m)
+			}
+			// The recorded execution contains only the committed T0.
+			sys := rt.RecordedSystem()
+			if sys.Node("T1") != nil {
+				t.Fatal("aborted transaction leaked into the record")
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := front.IsCompC(sys); err != nil || !ok {
+				t.Fatalf("record must stay Comp-C: %v, %v", ok, err)
+			}
+		})
+	}
+}
+
+// TestClientAbortReleasesLocks: an aborted transaction must not keep
+// others waiting.
+func TestClientAbortReleasesLocks(t *testing.T) {
+	rt := BankTopology().NewRuntime(ClosedNested)
+	_, err := rt.Submit("T1", Invocation{Component: "bank", Steps: []Step{
+		{Invoke: &Invocation{Component: "east", Item: "x", Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "x", Arg: 1}}}}},
+		{Fail: errBusiness},
+	}})
+	if !errors.Is(err, ErrClientAbort) {
+		t.Fatal(err)
+	}
+	// A conflicting transaction must proceed immediately.
+	if _, err := rt.Submit("T2", Invocation{Component: "bank", Steps: []Step{
+		{Invoke: &Invocation{Component: "east", Item: "x", Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "x", Arg: 2}}}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Store("east").Get("x"); got != 2 {
+		t.Fatalf("x = %d, want 2", got)
+	}
+}
+
+// TestClientAbortsUnderConcurrency: a mixed workload where a third of the
+// transactions abort client-side keeps every invariant under all
+// protocols and both deadlock policies.
+func TestClientAbortsUnderConcurrency(t *testing.T) {
+	for _, pol := range []DeadlockPolicy{WaitDie, DetectWFG} {
+		for _, p := range realProtocols {
+			t.Run(fmt.Sprintf("%s/%s", p, pol), func(t *testing.T) {
+				rt := BankTopology().NewRuntime(p)
+				rt.Deadlock = pol
+				const n = 30
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						steps := []Step{
+							{Invoke: &Invocation{Component: "east", Item: "acct", Mode: data.ModeIncr,
+								Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "acct", Arg: 1}}}}},
+						}
+						if i%3 == 0 {
+							steps = append(steps, Step{Fail: errBusiness})
+						}
+						_, err := rt.Submit(fmt.Sprintf("T%d", i+1), Invocation{Component: "bank", Steps: steps})
+						if i%3 == 0 {
+							if !errors.Is(err, ErrClientAbort) {
+								t.Errorf("tx %d: err = %v, want client abort", i+1, err)
+							}
+						} else if err != nil {
+							t.Errorf("tx %d: %v", i+1, err)
+						}
+					}(i)
+				}
+				wg.Wait()
+				// 20 commits of +1 each; 10 aborted and compensated.
+				if got := rt.Store("east").Get("acct"); got != 20 {
+					t.Fatalf("acct = %d, want 20", got)
+				}
+				m := rt.Metrics()
+				if m.Commits != 20 || m.ClientAborts != 10 {
+					t.Fatalf("metrics = %+v", m)
+				}
+				sys := rt.RecordedSystem()
+				if err := sys.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if ok, err := front.IsCompC(sys); err != nil || !ok {
+					t.Fatalf("record must stay Comp-C: %v, %v", ok, err)
+				}
+			})
+		}
+	}
+}

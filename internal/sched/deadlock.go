@@ -1,0 +1,96 @@
+package sched
+
+import "sync"
+
+// DeadlockPolicy selects how lock managers handle conflicts that could
+// deadlock.
+type DeadlockPolicy int
+
+const (
+	// WaitDie is timestamp-based deadlock *prevention*: an older
+	// transaction waits for a younger one, a younger requester is
+	// sacrificed immediately. No deadlock can form; some sacrifices are
+	// unnecessary.
+	WaitDie DeadlockPolicy = iota
+	// DetectWFG is deadlock *detection* on a global waits-for graph:
+	// requests wait freely, and the request that closes a waiting cycle
+	// is sacrificed. No unnecessary aborts; cycles are caught at the
+	// moment they form (the closing edge is always inserted by some
+	// acquire call, which checks synchronously).
+	DetectWFG
+)
+
+func (p DeadlockPolicy) String() string {
+	switch p {
+	case WaitDie:
+		return "wait-die"
+	case DetectWFG:
+		return "detect-wfg"
+	default:
+		return "DeadlockPolicy(?)"
+	}
+}
+
+// waitGraph is the runtime-global waits-for graph over root-transaction
+// timestamps (each root has a unique timestamp, kept across retries). It
+// spans all lock managers of the runtime.
+type waitGraph struct {
+	mu    sync.Mutex
+	edges map[uint64]map[uint64]struct{}
+}
+
+func newWaitGraph() *waitGraph {
+	return &waitGraph{edges: make(map[uint64]map[uint64]struct{})}
+}
+
+// setWaits replaces from's outgoing edges with the given holders and
+// reports whether that closes a cycle through from. On a cycle the edges
+// are removed again (the caller will abort).
+func (g *waitGraph) setWaits(from uint64, holders []uint64) (deadlock bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set := make(map[uint64]struct{}, len(holders))
+	for _, h := range holders {
+		if h != from {
+			set[h] = struct{}{}
+		}
+	}
+	g.edges[from] = set
+	if g.reachesLocked(from, from) {
+		delete(g.edges, from)
+		return true
+	}
+	return false
+}
+
+// clear removes from's outgoing edges (granted or aborted).
+func (g *waitGraph) clear(from uint64) {
+	g.mu.Lock()
+	delete(g.edges, from)
+	g.mu.Unlock()
+}
+
+// reachesLocked reports whether target is reachable from start's
+// successors. Callers hold g.mu.
+func (g *waitGraph) reachesLocked(start, target uint64) bool {
+	seen := map[uint64]struct{}{}
+	stack := make([]uint64, 0, len(g.edges[start]))
+	for n := range g.edges[start] {
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		for m := range g.edges[n] {
+			stack = append(stack, m)
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+
+	"compositetx/internal/data"
+)
+
+// ErrDie is returned by acquire when the wait-die policy sacrifices the
+// requesting transaction: it must roll back and retry with its original
+// timestamp.
+var ErrDie = errors.New("sched: transaction sacrificed by wait-die")
+
+// lockManager is a semantic lock manager: lock modes are operation modes
+// and compatibility is the component's commutativity table. Deadlocks are
+// prevented with the wait-die policy keyed on root-transaction timestamps;
+// a transaction that keeps its timestamp across retries eventually becomes
+// the oldest and succeeds.
+type lockManager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items map[string][]lockEntry
+
+	waits int64 // number of times a request had to wait (metrics)
+}
+
+type lockEntry struct {
+	mode  data.Mode
+	owner string // release key: subtransaction or root-attempt node ID
+	ts    uint64 // root transaction timestamp (wait-die)
+}
+
+func newLockManager() *lockManager {
+	lm := &lockManager{items: make(map[string][]lockEntry)}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// acquire blocks until the lock (item, mode) is granted to owner, or
+// returns ErrDie when the deadlock policy decides the requester (root
+// timestamp ts) must abort. Entries held by the same root never conflict
+// with the request (lock inheritance within a transaction is modelled by
+// the shared timestamp).
+//
+// Under WaitDie the requester dies iff some conflicting holder belongs to
+// an older root; wg may be nil. Under DetectWFG the requester registers
+// its waits in the runtime-global graph and dies iff that closes a cycle.
+func (lm *lockManager) acquire(table *data.ModeTable, item string, mode data.Mode, owner string, ts uint64, pol DeadlockPolicy, wg *waitGraph) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	waited := false
+	for {
+		var holders []uint64
+		die := false
+		for _, e := range lm.items[item] {
+			if e.owner == owner || e.ts == ts {
+				continue // same transaction (possibly a different level)
+			}
+			if table.ModeConflicts(e.mode, mode) {
+				if pol == WaitDie && e.ts < ts {
+					die = true // a conflicting holder is older
+					break
+				}
+				holders = append(holders, e.ts)
+			}
+		}
+		if die {
+			return ErrDie
+		}
+		if len(holders) == 0 {
+			if pol == DetectWFG && wg != nil {
+				wg.clear(ts)
+			}
+			lm.items[item] = append(lm.items[item], lockEntry{mode: mode, owner: owner, ts: ts})
+			return nil
+		}
+		if pol == DetectWFG && wg != nil && wg.setWaits(ts, holders) {
+			return ErrDie // this wait would close a deadlock cycle
+		}
+		if !waited {
+			lm.waits++
+			waited = true
+		}
+		lm.cond.Wait()
+	}
+}
+
+// release drops every lock held by owner and wakes waiters.
+func (lm *lockManager) release(owner string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	changed := false
+	for item, entries := range lm.items {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.owner == owner {
+				changed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(lm.items, item)
+		} else {
+			lm.items[item] = kept
+		}
+	}
+	if changed {
+		lm.cond.Broadcast()
+	}
+}
+
+// heldBy reports whether owner holds any lock (tests).
+func (lm *lockManager) heldBy(owner string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, entries := range lm.items {
+		for _, e := range entries {
+			if e.owner == owner {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waitCount returns how many requests had to wait.
+func (lm *lockManager) waitCount() int64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.waits
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"compositetx/internal/data"
+)
+
+func TestLockSharedGrants(t *testing.T) {
+	lm := newLockManager()
+	sem := data.SemanticTable()
+	if err := lm.acquire(sem, "x", data.ModeIncr, "a", 1, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Another increment by a different owner is compatible.
+	if err := lm.acquire(sem, "x", data.ModeIncr, "b", 2, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reads on another item are independent.
+	if err := lm.acquire(sem, "y", data.ModeRead, "c", 3, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWaitDieYoungerDies(t *testing.T) {
+	lm := newLockManager()
+	sem := data.SemanticTable()
+	if err := lm.acquire(sem, "x", data.ModeWrite, "old", 1, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A younger conflicting request must die, not block.
+	err := lm.acquire(sem, "x", data.ModeWrite, "young", 2, WaitDie, nil)
+	if !errors.Is(err, ErrDie) {
+		t.Fatalf("err = %v, want ErrDie", err)
+	}
+}
+
+func TestLockWaitDieOlderWaits(t *testing.T) {
+	lm := newLockManager()
+	sem := data.SemanticTable()
+	if err := lm.acquire(sem, "x", data.ModeWrite, "young", 5, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Older conflicting request: waits until release, then succeeds.
+		done <- lm.acquire(sem, "x", data.ModeWrite, "old", 1, WaitDie, nil)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("older request returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.release("young")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("older request failed after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("older request not woken by release")
+	}
+	if got := lm.waitCount(); got != 1 {
+		t.Fatalf("waitCount = %d, want 1", got)
+	}
+}
+
+func TestLockReentrantSameOwner(t *testing.T) {
+	lm := newLockManager()
+	sem := data.SemanticTable()
+	if err := lm.acquire(sem, "x", data.ModeWrite, "a", 1, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same owner re-acquiring a conflicting mode must not self-deadlock.
+	if err := lm.acquire(sem, "x", data.ModeRead, "a", 1, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same root (equal timestamp), different level owner: also compatible.
+	if err := lm.acquire(sem, "x", data.ModeWrite, "a/1", 1, WaitDie, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockReleaseByOwner(t *testing.T) {
+	lm := newLockManager()
+	sem := data.SemanticTable()
+	_ = lm.acquire(sem, "x", data.ModeWrite, "a", 1, WaitDie, nil)
+	_ = lm.acquire(sem, "y", data.ModeWrite, "a", 1, WaitDie, nil)
+	_ = lm.acquire(sem, "z", data.ModeWrite, "b", 2, WaitDie, nil)
+	if !lm.heldBy("a") || !lm.heldBy("b") {
+		t.Fatal("locks missing")
+	}
+	lm.release("a")
+	if lm.heldBy("a") {
+		t.Fatal("release(a) left locks behind")
+	}
+	if !lm.heldBy("b") {
+		t.Fatal("release(a) dropped b's lock")
+	}
+}
+
+func TestLockManyConcurrentOwners(t *testing.T) {
+	lm := newLockManager()
+	rw := data.RWTable()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(ts uint64) {
+			defer wg.Done()
+			owner := string(rune('A' + ts))
+			for {
+				err := lm.acquire(rw, "hot", data.ModeWrite, owner, ts, WaitDie, nil)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrDie) {
+					errCh <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(100 * time.Microsecond)
+			lm.release(string(rune('A' + ts)))
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package sched is the prototype composite system the paper announces: a
+// runtime of transactional components, each with its own scheduler,
+// connected in an arbitrary acyclic invocation graph and exercised by
+// concurrent client transactions (goroutines).
+//
+// Each component owns a semantic lock manager (its local scheduler) and
+// optionally a data store. A transaction is a tree-shaped program: leaf
+// operations execute on the component's store, invocation steps delegate a
+// subtransaction to a child component (Definition 4's delegation). Three
+// concurrency-control disciplines from the paper's implementation-strategy
+// discussion are provided, plus an intentionally broken one:
+//
+//   - OpenNested — CC scheduling [ABFS97, AFPS99] / open nested
+//     transactions [BSW88, Sch96]: each component serializes its own
+//     operations with semantic locks; a subtransaction's locks are
+//     released when it commits at its component, and the caller retains
+//     only its own semantic lock on the operation. Maximum concurrency.
+//   - ClosedNested — Moss-style closed nesting [Mos88, GR93]: all locks
+//     are inherited upward and held until the root commits.
+//   - Global2PL — the monolithic baseline: a single global strict-2PL
+//     lock manager over leaf items with read/write modes only; component
+//     structure and semantic commutativity are ignored.
+//   - NoCC — no concurrency control at all; used to demonstrate that the
+//     checker (internal/front) detects the resulting incorrect executions.
+//
+// Every run records the committed execution and can assemble it into a
+// model.System for the Comp-C checker; the integration tests assert that
+// the three real protocols only produce correct composite executions.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"compositetx/internal/data"
+)
+
+// Protocol selects the concurrency-control discipline.
+type Protocol int
+
+const (
+	// OpenNested is semantic locking with early release (CC scheduling).
+	OpenNested Protocol = iota
+	// ClosedNested holds all locks to root commit.
+	ClosedNested
+	// Global2PL is flat strict two-phase locking over leaf items.
+	Global2PL
+	// Hybrid is open nesting with closed-nested (root-held) locks at join
+	// points — components invoked by more than one client component. Pure
+	// open nesting is unsound in general configurations (transactions
+	// sharing no schedule can interfere through a shared component, the
+	// paper's Figure 3 situation); holding locks to root commit exactly at
+	// the join points restores soundness while keeping early release on
+	// single-caller chains.
+	Hybrid
+	// NoCC applies operations without any isolation.
+	NoCC
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case OpenNested:
+		return "open-nested"
+	case ClosedNested:
+		return "closed-nested"
+	case Global2PL:
+		return "global-2pl"
+	case Hybrid:
+		return "hybrid"
+	case NoCC:
+		return "nocc"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ComponentSpec declares one component of the topology.
+type ComponentSpec struct {
+	Name string
+	// Modes is the component's conflict declaration over operation modes;
+	// nil means data.SemanticTable.
+	Modes *data.ModeTable
+	// HasStore gives the component a local data store (components may own
+	// data and invoke children at the same time, like the schedules of
+	// Figure 1 that have both leaf and transaction operations).
+	HasStore bool
+}
+
+type component struct {
+	name  string
+	modes *data.ModeTable
+	store *data.Store
+	lm    *lockManager
+
+	// holdToRoot marks a join point: under the Hybrid protocol, locks at
+	// this component are owned by the root and held to root commit.
+	holdToRoot bool
+}
+
+// Metrics aggregates runtime counters.
+type Metrics struct {
+	Commits      int64
+	Aborts       int64 // deadlock-policy sacrifices (each followed by a retry)
+	ClientAborts int64 // application-initiated aborts (rolled back, not retried)
+	LeafOps      int64
+	Invokes      int64
+	LockWaits    int64
+}
+
+// Runtime is a running composite system.
+type Runtime struct {
+	protocol Protocol
+	comps    map[string]*component
+	globalLM *lockManager
+	rwTable  *data.ModeTable
+
+	seq atomic.Uint64 // global event sequence (conflict-order recording)
+	tsc atomic.Uint64 // root timestamps for wait-die
+
+	commits      atomic.Int64
+	aborts       atomic.Int64
+	clientAborts atomic.Int64
+	leafOps      atomic.Int64
+	invokes      atomic.Int64
+
+	mu  sync.Mutex
+	rec *recorder
+
+	wfg *waitGraph
+
+	// MaxRetries bounds retries per transaction (safety net; wait-die
+	// guarantees progress long before this).
+	MaxRetries int
+
+	// Deadlock selects the deadlock-handling policy of every lock manager
+	// (default WaitDie). Set before submitting transactions.
+	Deadlock DeadlockPolicy
+}
+
+// New builds a runtime for the given protocol and component topology.
+func New(protocol Protocol, specs []ComponentSpec) *Runtime {
+	r := &Runtime{
+		protocol:   protocol,
+		comps:      make(map[string]*component, len(specs)),
+		globalLM:   newLockManager(),
+		rwTable:    data.RWTable(),
+		rec:        newRecorder(),
+		wfg:        newWaitGraph(),
+		MaxRetries: 10000,
+	}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			panic("sched: component with empty name")
+		}
+		if _, dup := r.comps[spec.Name]; dup {
+			panic(fmt.Sprintf("sched: duplicate component %q", spec.Name))
+		}
+		modes := spec.Modes
+		if modes == nil {
+			modes = data.SemanticTable()
+		}
+		c := &component{name: spec.Name, modes: modes, lm: newLockManager()}
+		if spec.HasStore {
+			c.store = data.NewStore()
+		}
+		r.comps[spec.Name] = c
+	}
+	return r
+}
+
+// Store returns a component's store (nil if it has none), for setup and
+// assertions.
+func (r *Runtime) Store(name string) *data.Store {
+	c := r.comps[name]
+	if c == nil {
+		return nil
+	}
+	return c.store
+}
+
+// Protocol returns the runtime's concurrency-control discipline.
+func (r *Runtime) Protocol() Protocol { return r.protocol }
+
+// Metrics returns a snapshot of the runtime counters.
+func (r *Runtime) Metrics() Metrics {
+	m := Metrics{
+		Commits:      r.commits.Load(),
+		Aborts:       r.aborts.Load(),
+		ClientAborts: r.clientAborts.Load(),
+		LeafOps:      r.leafOps.Load(),
+		Invokes:      r.invokes.Load(),
+	}
+	m.LockWaits = r.globalLM.waitCount()
+	names := make([]string, 0, len(r.comps))
+	for n := range r.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m.LockWaits += r.comps[n].lm.waitCount()
+	}
+	return m
+}

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"compositetx/internal/front"
+)
+
+// TestSoak hammers every protocol × policy × topology combination with
+// randomized jittered workloads and client aborts, validating and
+// Comp-C-checking every recorded execution. Skipped with -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	topos := map[string]func() *Topology{
+		"stack3":  func() *Topology { return StackTopology(3) },
+		"bank":    BankTopology,
+		"diamond": DiamondTopology,
+	}
+	for tn, mk := range topos {
+		for _, p := range realProtocols {
+			if p == OpenNested && tn == "diamond" {
+				continue // unsound by design on join configurations
+			}
+			for _, pol := range []DeadlockPolicy{WaitDie, DetectWFG} {
+				name := fmt.Sprintf("%s/%s/%s", tn, p, pol)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					for seed := int64(0); seed < 6; seed++ {
+						topo := mk()
+						rt := topo.NewRuntime(p)
+						rt.Deadlock = pol
+						progs := GenPrograms(topo, WorkloadParams{
+							Roots: 25, StepsPerTx: 3, Items: 3,
+							ReadRatio: 0.25, WriteRatio: 0.35, Seed: seed,
+						})
+						progs = Jitter(progs, 120*time.Microsecond, seed)
+						if err := Run(rt, progs, 6); err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						sys := rt.RecordedSystem()
+						if err := sys.Validate(); err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						ok, err := front.IsCompC(sys)
+						if err != nil || !ok {
+							t.Fatalf("seed %d: Comp-C=%v err=%v", seed, ok, err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

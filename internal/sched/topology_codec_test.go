@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+)
+
+const sampleTopology = `{
+  "components": [
+    {"name": "shop"},
+    {"name": "inventory", "store": true},
+    {"name": "billing", "store": true, "modes": "escrow"},
+    {"name": "audit", "store": true, "modes": "rw"}
+  ],
+  "children": {
+    "shop": ["inventory", "billing"],
+    "billing": ["audit"]
+  },
+  "entries": ["shop"]
+}`
+
+func TestDecodeTopology(t *testing.T) {
+	topo, err := DecodeTopology(strings.NewReader(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Specs) != 4 || len(topo.Entries) != 1 {
+		t.Fatalf("specs=%d entries=%d", len(topo.Specs), len(topo.Entries))
+	}
+	// The decoded topology drives a runtime end to end.
+	rt := topo.NewRuntime(Hybrid)
+	progs := GenPrograms(topo, WorkloadParams{
+		Roots: 20, StepsPerTx: 3, Items: 3, ReadRatio: 0.3, WriteRatio: 0.3, Seed: 3,
+	})
+	if err := Run(rt, progs, 6); err != nil {
+		t.Fatal(err)
+	}
+	sys := rt.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := front.IsCompC(sys); err != nil || !ok {
+		t.Fatalf("decoded topology execution must be Comp-C: %v, %v", ok, err)
+	}
+}
+
+func TestDecodeTopologyModeTables(t *testing.T) {
+	topo, err := DecodeTopology(strings.NewReader(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ComponentSpec{}
+	for _, s := range topo.Specs {
+		byName[s.Name] = s
+	}
+	if byName["inventory"].Modes != nil {
+		t.Error("default modes must be nil (semantic)")
+	}
+	if !byName["billing"].Modes.ModeConflicts(data.ModeWithdraw, data.ModeWithdraw) {
+		t.Error("billing should use the escrow table")
+	}
+	if !byName["audit"].Modes.ModeConflicts(data.ModeIncr, data.ModeIncr) {
+		t.Error("audit should use the rw table")
+	}
+}
+
+func TestDecodeTopologyCustomModes(t *testing.T) {
+	in := `{
+	  "components": [{"name": "a", "store": true,
+	    "modes": {"conflicts": [["book","book"], ["book","cancel"]]}}],
+	  "entries": ["a"]
+	}`
+	topo, err := DecodeTopology(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topo.Specs[0].Modes
+	if !m.ModeConflicts("book", "cancel") || !m.ModeConflicts("book", "book") {
+		t.Fatal("custom conflicts lost")
+	}
+	if m.ModeConflicts("cancel", "cancel") {
+		t.Fatal("undeclared pair must commute")
+	}
+}
+
+func TestDecodeTopologyRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":           `{}`,
+		"no entries":      `{"components":[{"name":"a"}]}`,
+		"dup component":   `{"components":[{"name":"a"},{"name":"a"}],"entries":["a"]}`,
+		"unknown entry":   `{"components":[{"name":"a"}],"entries":["b"]}`,
+		"unknown child":   `{"components":[{"name":"a"}],"children":{"a":["b"]},"entries":["a"]}`,
+		"self invocation": `{"components":[{"name":"a"}],"children":{"a":["a"]},"entries":["a"]}`,
+		"recursive":       `{"components":[{"name":"a"},{"name":"b"}],"children":{"a":["b"],"b":["a"]},"entries":["a"]}`,
+		"bad modes":       `{"components":[{"name":"a","modes":"quantum"}],"entries":["a"]}`,
+		"not json":        `nope`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeTopology(strings.NewReader(in)); err == nil {
+				t.Fatalf("input %q must be rejected", in)
+			}
+		})
+	}
+}

@@ -1,0 +1,325 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"compositetx/internal/data"
+	"compositetx/internal/model"
+)
+
+// Step is one operation of a transaction program: either a leaf operation
+// on the current component's store, or the invocation of a subtransaction
+// on a child component. Exactly one field must be set.
+type Step struct {
+	Op     *data.Op
+	Invoke *Invocation
+
+	// Sync, if set, runs before the step executes. It is a test and demo
+	// seam for forcing specific interleavings (e.g. to reproduce the
+	// Figure 3 interference deterministically); it is never recorded.
+	Sync func()
+
+	// Fail, if set, aborts the whole transaction at this step with an
+	// application error: every operation applied so far is compensated in
+	// reverse order, all locks are released, the transaction is NOT
+	// retried, and nothing of it appears in the recorded execution.
+	Fail error
+}
+
+// Invocation is a tree-shaped (sub)transaction program. At the caller it
+// appears as one semantic operation (Item, Mode) — the unit the caller's
+// scheduler locks and declares conflicts over; its Steps execute at the
+// named component.
+type Invocation struct {
+	Component string    // component executing this (sub)transaction
+	Item      string    // semantic lock item at the caller
+	Mode      data.Mode // semantic lock mode at the caller
+	Steps     []Step
+}
+
+// TxResult reports a committed transaction.
+type TxResult struct {
+	Root    model.NodeID // node ID of the committed root transaction
+	Retries int          // wait-die sacrifices before the commit
+	Values  []int64      // results of the leaf reads, in program order
+}
+
+// ErrTooManyRetries is returned when a transaction exceeds MaxRetries.
+var ErrTooManyRetries = errors.New("sched: transaction exceeded retry budget")
+
+// ErrClientAbort wraps an application-initiated abort (Step.Fail): the
+// transaction is rolled back (compensated) and not retried.
+var ErrClientAbort = errors.New("sched: transaction aborted by client")
+
+// attempt carries the per-attempt execution state: the undo log, the lock
+// owners created so far (for release on abort or commit), and the staged
+// execution record.
+type attempt struct {
+	root   model.NodeID
+	ts     uint64
+	owners []ownerRef
+	undo   []undoEntry
+	stage  *stagedRecord
+	values []int64
+	rng    *rand.Rand
+}
+
+type ownerRef struct {
+	lm    *lockManager
+	owner string
+}
+
+type undoEntry struct {
+	store *data.Store
+	op    data.Op
+	res   data.Result
+}
+
+// Submit runs the program as a root transaction, retrying on wait-die
+// sacrifices until it commits. It is safe to call from many goroutines.
+func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
+	if _, ok := r.comps[root.Component]; !ok {
+		return nil, fmt.Errorf("sched: unknown component %q", root.Component)
+	}
+	ts := r.tsc.Add(1)
+	rootID := model.NodeID(name)
+	retries := 0
+	for {
+		a := &attempt{
+			root:  rootID,
+			ts:    ts,
+			stage: newStagedRecord(),
+			rng:   rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+		}
+		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
+		err := r.exec(a, rootID, string(rootID), root)
+		if err == nil {
+			// Root commit: release every lock and publish the record.
+			for i := len(a.owners) - 1; i >= 0; i-- {
+				a.owners[i].lm.release(a.owners[i].owner)
+			}
+			r.wfg.clear(a.ts)
+			r.mu.Lock()
+			r.rec.merge(a.stage)
+			r.mu.Unlock()
+			r.commits.Add(1)
+			return &TxResult{Root: rootID, Retries: retries, Values: a.values}, nil
+		}
+		if !errors.Is(err, ErrDie) {
+			r.rollback(a)
+			if errors.Is(err, ErrClientAbort) {
+				r.clientAborts.Add(1)
+			}
+			return nil, err
+		}
+		r.rollback(a)
+		r.aborts.Add(1)
+		retries++
+		if retries > r.MaxRetries {
+			return nil, ErrTooManyRetries
+		}
+		// Jittered exponential backoff before retrying with the same
+		// timestamp (the transaction ages and eventually wins under
+		// wait-die). Flat backoff thrashes badly when the conflicting
+		// older transaction holds its locks for milliseconds.
+		shift := retries
+		if shift > 6 {
+			shift = 6
+		}
+		base := (50 << shift) // 50µs .. 3.2ms
+		time.Sleep(time.Duration(base/2+a.rng.Intn(base)) * time.Microsecond)
+	}
+}
+
+// rollback compensates the attempt's applied operations in reverse order
+// and releases its locks.
+func (r *Runtime) rollback(a *attempt) {
+	for i := len(a.undo) - 1; i >= 0; i-- {
+		u := a.undo[i]
+		if inv, ok := data.Inverse(u.op, u.res); ok {
+			// Compensation cannot fail on the integer store.
+			if _, err := u.store.Apply(inv); err != nil {
+				panic(fmt.Sprintf("sched: compensation failed: %v", err))
+			}
+		}
+	}
+	a.undo = a.undo[:0]
+	for i := len(a.owners) - 1; i >= 0; i-- {
+		a.owners[i].lm.release(a.owners[i].owner)
+	}
+	a.owners = a.owners[:0]
+	r.wfg.clear(a.ts)
+}
+
+// exec runs one (sub)transaction at its component. node is the node ID of
+// this (sub)transaction; owner is the lock-owner key for locks it takes
+// (its own node ID under open nesting, the root attempt under closed
+// nesting and global 2PL).
+func (r *Runtime) exec(a *attempt, node model.NodeID, owner string, inv Invocation) error {
+	comp := r.comps[inv.Component]
+	if comp == nil {
+		return fmt.Errorf("sched: unknown component %q", inv.Component)
+	}
+	stepOwner := r.lockOwner(a, comp, owner)
+
+	for i, step := range inv.Steps {
+		childID := model.NodeID(fmt.Sprintf("%s/%d", node, i+1))
+		if step.Sync != nil {
+			step.Sync()
+		}
+		if step.Fail != nil {
+			return fmt.Errorf("%w: step %s: %w", ErrClientAbort, childID, step.Fail)
+		}
+		switch {
+		case step.Op != nil && step.Invoke != nil:
+			return fmt.Errorf("sched: step %s has both Op and Invoke", childID)
+		case step.Op != nil:
+			if comp.store == nil {
+				return fmt.Errorf("sched: component %q has no store for %s", comp.name, step.Op)
+			}
+			if err := r.leafOp(a, comp, node, childID, stepOwner, *step.Op); err != nil {
+				return err
+			}
+		case step.Invoke != nil:
+			if err := r.invoke(a, comp, node, childID, stepOwner, *step.Invoke); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sched: empty step %s", childID)
+		}
+	}
+	// Subtransaction commit at this component: under open nesting (and
+	// under Hybrid away from join points) its locks are released now; the
+	// caller keeps only its own semantic lock on this invocation.
+	if (r.protocol == OpenNested || r.protocol == Hybrid) && stepOwner != string(a.root) {
+		comp.lm.release(stepOwner)
+		a.dropOwner(comp.lm, stepOwner)
+	}
+	return nil
+}
+
+// lockOwner decides the owner key for locks taken while executing an
+// instance at comp: the root attempt when locks must survive to root
+// commit, the instance itself when early release is allowed.
+func (r *Runtime) lockOwner(a *attempt, comp *component, instance string) string {
+	switch r.protocol {
+	case ClosedNested, Global2PL:
+		return string(a.root)
+	case Hybrid:
+		if comp.holdToRoot {
+			return string(a.root)
+		}
+		return instance
+	default:
+		return instance
+	}
+}
+
+// leafOp locks and applies a leaf operation.
+func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id model.NodeID, owner string, op data.Op) error {
+	switch r.protocol {
+	case Global2PL:
+		// One global lock space over component-qualified items, classical
+		// read/write modes only (increments — and any custom mode not
+		// physically a read — are read-modify-writes).
+		mode := op.Physical()
+		if mode != data.ModeRead {
+			mode = data.ModeWrite
+		}
+		if err := r.acquire(a, r.globalLM, r.rwTable, comp.name+"/"+op.Item, mode, string(a.root)); err != nil {
+			return err
+		}
+	case NoCC:
+		// No isolation.
+	default:
+		if err := r.acquire(a, comp.lm, comp.modes, op.Item, op.Mode, owner); err != nil {
+			return err
+		}
+	}
+	res, err := comp.store.Apply(op)
+	if err != nil {
+		return err
+	}
+	r.leafOps.Add(1)
+	a.undo = append(a.undo, undoEntry{store: comp.store, op: op, res: res})
+	if op.Physical() == data.ModeRead {
+		a.values = append(a.values, res.Value)
+	}
+	seq := r.seq.Add(1)
+	a.stage.declareNode(nodeDecl{id: id, parent: parent})
+	a.stage.addEvent(event{seq: seq, comp: comp.name, op: id, parentTx: parent, item: op.Item, mode: op.Mode})
+	return nil
+}
+
+// invoke locks the semantic operation at the caller and delegates the
+// subtransaction to the child component.
+func (r *Runtime) invoke(a *attempt, caller *component, parent model.NodeID, id model.NodeID, owner string, inv Invocation) error {
+	child := r.comps[inv.Component]
+	if child == nil {
+		return fmt.Errorf("sched: unknown component %q", inv.Component)
+	}
+	if child == caller {
+		return fmt.Errorf("sched: component %q invoking itself (recursion is not allowed)", caller.name)
+	}
+	r.invokes.Add(1)
+
+	// The semantic identity of an invocation at the caller is the pair
+	// (component, item): operations on the same item name routed to
+	// different components touch disjoint data and must not be declared
+	// conflicting (nor serialized) at the caller.
+	semItem := inv.Component + "/" + inv.Item
+
+	var seq uint64
+	switch r.protocol {
+	case Global2PL, NoCC:
+		// No component-level locks; the event sequence is assigned at
+		// completion, where lock strictness (Global2PL) makes the order
+		// consistent with the leaf serialization.
+	default:
+		if err := r.acquire(a, caller.lm, caller.modes, semItem, inv.Mode, owner); err != nil {
+			return err
+		}
+		seq = r.seq.Add(1)
+	}
+
+	childOwner := string(id)
+	if err := r.exec(a, id, childOwner, inv); err != nil {
+		return err
+	}
+	if seq == 0 {
+		seq = r.seq.Add(1)
+	}
+	a.stage.declareNode(nodeDecl{id: id, parent: parent, sched: inv.Component})
+	a.stage.addEvent(event{seq: seq, comp: caller.name, op: id, parentTx: parent, item: semItem, mode: inv.Mode})
+	return nil
+}
+
+// acquire wraps lockManager.acquire with owner bookkeeping.
+func (r *Runtime) acquire(a *attempt, lm *lockManager, table *data.ModeTable, item string, mode data.Mode, owner string) error {
+	if err := lm.acquire(table, item, mode, owner, a.ts, r.Deadlock, r.wfg); err != nil {
+		return err
+	}
+	a.addOwner(lm, owner)
+	return nil
+}
+
+func (a *attempt) addOwner(lm *lockManager, owner string) {
+	for _, o := range a.owners {
+		if o.lm == lm && o.owner == owner {
+			return
+		}
+	}
+	a.owners = append(a.owners, ownerRef{lm: lm, owner: owner})
+}
+
+func (a *attempt) dropOwner(lm *lockManager, owner string) {
+	for i, o := range a.owners {
+		if o.lm == lm && o.owner == owner {
+			a.owners = append(a.owners[:i], a.owners[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"compositetx/internal/front"
+	"compositetx/internal/sched"
+)
+
+// RunConfig parameterizes the runtime experiments.
+type RunConfig struct {
+	Roots      int
+	StepsPerTx int
+	Items      int // hot-item universe (lower = more contention)
+	Clients    int
+	ReadRatio  float64
+	WriteRatio float64
+	// StepDelay models per-operation service time (components do real
+	// work); it is what makes lock hold times — and therefore the
+	// protocols' concurrency differences — visible.
+	StepDelay time.Duration
+	Seed      int64
+}
+
+// DefaultRunConfig is the configuration used by compbench.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Roots: 200, StepsPerTx: 4, Items: 4, Clients: 16,
+		ReadRatio: 0.25, WriteRatio: 0.05, StepDelay: 150 * time.Microsecond,
+		Seed: 7,
+	}
+}
+
+// runOnce drives one workload through one protocol on one topology and
+// reports throughput plus the checker verdict on the recorded execution.
+func runOnce(topo *sched.Topology, p sched.Protocol, cfg RunConfig) (row []string, correct bool) {
+	rt := topo.NewRuntime(p)
+	progs := sched.GenPrograms(topo, sched.WorkloadParams{
+		Roots: cfg.Roots, StepsPerTx: cfg.StepsPerTx, Items: cfg.Items,
+		ReadRatio: cfg.ReadRatio, WriteRatio: cfg.WriteRatio, Seed: cfg.Seed,
+	})
+	if cfg.StepDelay > 0 {
+		progs = sched.Jitter(progs, cfg.StepDelay, cfg.Seed)
+	}
+	start := time.Now()
+	err := sched.Run(rt, progs, cfg.Clients)
+	elapsed := time.Since(start)
+	if err != nil {
+		return []string{p.String(), "error: " + err.Error(), "-", "-", "-", "-"}, false
+	}
+	m := rt.Metrics()
+	tps := float64(m.Commits) / elapsed.Seconds()
+
+	sys := rt.RecordedSystem()
+	verdict := "Comp-C"
+	correct = true
+	if err := sys.Validate(); err != nil {
+		verdict = "VIOLATION (model)"
+		correct = false
+	} else if ok, err := front.IsCompC(sys); err != nil || !ok {
+		verdict = "VIOLATION (Comp-C)"
+		correct = false
+	}
+	return []string{
+		p.String(),
+		fmt.Sprintf("%.0f", tps),
+		fmt.Sprint(m.Aborts),
+		fmt.Sprint(m.LockWaits),
+		elapsed.Round(time.Millisecond).String(),
+		verdict,
+	}, correct
+}
+
+// E6Protocols compares the concurrency-control protocols across the three
+// reference topologies: throughput, aborts, lock waits, and whether the
+// recorded execution is correct.
+func E6Protocols(cfg RunConfig) *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("Runtime protocols (%d txs, %d clients, %d hot items)", cfg.Roots, cfg.Clients, cfg.Items),
+		Header: []string{"topology", "protocol", "tx/s", "aborts", "lock waits", "wall", "verdict"},
+	}
+	topos := []struct {
+		name string
+		topo *sched.Topology
+	}{
+		{"stack(3)", sched.StackTopology(3)},
+		{"bank", sched.BankTopology()},
+		{"diamond", sched.DiamondTopology()},
+	}
+	protos := []sched.Protocol{sched.Global2PL, sched.ClosedNested, sched.OpenNested, sched.Hybrid}
+	for _, tc := range topos {
+		for _, p := range protos {
+			row, _ := runOnce(tc.topo, p, cfg)
+			cells := make([]any, 0, len(row)+1)
+			cells = append(cells, tc.name)
+			for _, c := range row {
+				cells = append(cells, c)
+			}
+			t.AddRow(cells...)
+		}
+	}
+	t.Note = "expected: semantic protocols (open-nested, hybrid) sustain higher throughput than " +
+		"global-2pl under contention because commuting operations (increments) proceed concurrently; " +
+		"open-nested on the diamond may record a VIOLATION — the Figure 3 phenomenon — while hybrid stays Comp-C"
+	return t
+}
+
+// E9Deadlock compares the two deadlock-handling policies under a
+// write-heavy contended workload: wait-die prevention sacrifices eagerly
+// (younger requesters die even when no cycle exists), waits-for-graph
+// detection aborts only on real cycles at the cost of maintaining the
+// graph. Both must stay live and correct.
+func E9Deadlock(cfg RunConfig) *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  fmt.Sprintf("Deadlock policies (%d txs, %d clients, hybrid protocol)", cfg.Roots, cfg.Clients),
+		Header: []string{"contention", "policy", "tx/s", "aborts", "lock waits", "verdict"},
+	}
+	workloads := []struct {
+		name       string
+		items      int
+		writeRatio float64
+	}{
+		{"moderate (16 items, 20% writes)", 16, 0.2},
+		{"hotspot  (4 items, 60% writes)", 4, 0.6},
+	}
+	for _, w := range workloads {
+		for _, pol := range []sched.DeadlockPolicy{sched.WaitDie, sched.DetectWFG} {
+			rt := sched.BankTopology().NewRuntime(sched.Hybrid)
+			rt.Deadlock = pol
+			progs := sched.GenPrograms(sched.BankTopology(), sched.WorkloadParams{
+				Roots: cfg.Roots, StepsPerTx: cfg.StepsPerTx, Items: w.items,
+				ReadRatio: 0.1, WriteRatio: w.writeRatio, Seed: cfg.Seed,
+			})
+			if cfg.StepDelay > 0 {
+				progs = sched.Jitter(progs, cfg.StepDelay, cfg.Seed)
+			}
+			start := time.Now()
+			err := sched.Run(rt, progs, cfg.Clients)
+			elapsed := time.Since(start)
+			if err != nil {
+				t.AddRow(w.name, pol.String(), "error", "-", "-", err.Error())
+				continue
+			}
+			m := rt.Metrics()
+			sys := rt.RecordedSystem()
+			verdict := "Comp-C"
+			if err := sys.Validate(); err != nil {
+				verdict = "VIOLATION (model)"
+			} else if ok, err := front.IsCompC(sys); err != nil || !ok {
+				verdict = "VIOLATION (Comp-C)"
+			}
+			t.AddRow(w.name, pol.String(),
+				fmt.Sprintf("%.0f", float64(m.Commits)/elapsed.Seconds()),
+				m.Aborts, m.LockWaits, verdict)
+		}
+	}
+	t.Note = "expected: at moderate contention detection aborts only on real cycles (far fewer than " +
+		"wait-die's precautionary sacrifices); under extreme hot-spot contention detection thrashes " +
+		"(victims re-deadlock on retry) while wait-die's timestamp ordering converges — the classical " +
+		"prevention-vs-detection trade-off. Both policies always record correct executions."
+	return t
+}
+
+// E8Coverage stresses every topology × protocol combination across many
+// seeds and counts correct recorded executions; NoCC demonstrates that the
+// checker detects real violations.
+func E8Coverage(runsPerCell int) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Configuration coverage: recorded executions checked per protocol",
+		Header: []string{"topology", "protocol", "runs", "correct", "violations"},
+	}
+	topos := []struct {
+		name string
+		mk   func() *sched.Topology
+	}{
+		{"stack(2)", func() *sched.Topology { return sched.StackTopology(2) }},
+		{"stack(4)", func() *sched.Topology { return sched.StackTopology(4) }},
+		{"bank", sched.BankTopology},
+		{"diamond", sched.DiamondTopology},
+	}
+	protos := []sched.Protocol{sched.Global2PL, sched.ClosedNested, sched.OpenNested, sched.Hybrid, sched.NoCC}
+	for _, tc := range topos {
+		for _, p := range protos {
+			good, bad := 0, 0
+			for run := 0; run < runsPerCell; run++ {
+				topo := tc.mk()
+				rt := topo.NewRuntime(p)
+				progs := sched.GenPrograms(topo, sched.WorkloadParams{
+					Roots: 40, StepsPerTx: 3, Items: 2,
+					ReadRatio: 0.2, WriteRatio: 0.5, Seed: int64(run),
+				})
+				progs = sched.Jitter(progs, 200*time.Microsecond, int64(run))
+				if err := sched.Run(rt, progs, 8); err != nil {
+					bad++
+					continue
+				}
+				sys := rt.RecordedSystem()
+				if err := sys.Validate(); err != nil {
+					bad++
+					continue
+				}
+				if ok, err := front.IsCompC(sys); err == nil && ok {
+					good++
+				} else {
+					bad++
+				}
+			}
+			t.AddRow(tc.name, p.String(), runsPerCell, good, bad)
+		}
+	}
+	t.Note = "expected: global-2pl, closed-nested and hybrid record only correct executions everywhere; " +
+		"open-nested is correct on single-entry configurations but can violate on the diamond; " +
+		"nocc violates frequently under write contention — and every violation is caught by the checker"
+	return t
+}

@@ -1,0 +1,103 @@
+// Package sim is the experiment harness: it regenerates every artifact in
+// the reproduction's experiment index (DESIGN.md §6, EXPERIMENTS.md) as a
+// formatted table (E1–E9). The cmd/compbench tool and the top-level benchmarks are
+// thin wrappers around this package.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is one experiment artifact: a titled grid of rows.
+type Table struct {
+	ID     string // experiment id, e.g. "E4"
+	Title  string
+	Note   string // one-paragraph interpretation of the result
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// RenderAll runs every experiment and renders the tables in order.
+func RenderAll(w io.Writer) {
+	for _, t := range All() {
+		t.Render(w)
+	}
+}
+
+// All runs every experiment with its default parameters.
+func All() []*Table {
+	return []*Table{
+		E1Figure3(),
+		E2Figure4(),
+		E3Theorems(150),
+		E4Containment(400),
+		E5Commutativity(300),
+		E6Protocols(DefaultRunConfig()),
+		E7CheckerScaling(),
+		E8Coverage(12),
+		E9Deadlock(DefaultRunConfig()),
+	}
+}

@@ -1,0 +1,435 @@
+// Package workload generates random composite-system executions for tests,
+// property checks and experiments: stack, fork, join and general DAG
+// configurations, with controllable conflict rate, fanout and strong-order
+// rate.
+//
+// Generation works top-down. Every schedule receives its weak (and strong)
+// input orders from its callers' outputs (Definition 4 item 7), then picks
+// a random linear extension of its operations that respects the forced
+// directions (Definition 3 item 1a/b for conflicting operations of
+// input-ordered transactions, item 3 for strongly ordered ones, item 2 for
+// intra-transaction orders). The recorded weak output order is the minimal
+// commitment: conflicting pairs plus required intra-transaction pairs, in
+// execution order. Executions generated this way always satisfy the model
+// axioms (Validate passes) but are otherwise unconstrained — both correct
+// and incorrect executions arise, which is what acceptance-rate experiments
+// and the Theorem 2–4 equivalence tests need.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compositetx/internal/criteria"
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// Execution bundles a generated system with the temporal operation
+// sequence of every schedule (needed by the OPSR baseline).
+type Execution struct {
+	Sys  *model.System
+	Seqs criteria.Sequences
+}
+
+// StackParams configures Stack.
+type StackParams struct {
+	Levels       int     // number of schedules in the chain (the order N)
+	Roots        int     // transactions of the top schedule
+	Fanout       int     // operations per transaction
+	ConflictRate float64 // probability that a cross-transaction operation pair conflicts
+	StrongRate   float64 // probability that a root pair is strongly ordered
+	Seed         int64
+}
+
+// Stack generates a random stack execution (Definition 21): schedules
+// L<Levels> .. L1, where the operations of each schedule are exactly the
+// transactions of the one below and the bottom schedule's operations are
+// leaves.
+func Stack(p StackParams) *Execution {
+	if p.Levels < 1 || p.Roots < 1 || p.Fanout < 1 {
+		panic("workload: StackParams must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	sys := model.NewSystem()
+	scheds := make([]model.ScheduleID, p.Levels) // index 0 = bottom (level 1)
+	for l := p.Levels; l >= 1; l-- {
+		id := model.ScheduleID(fmt.Sprintf("L%d", l))
+		sys.AddSchedule(id)
+		scheds[l-1] = id
+	}
+
+	// Build the forest level by level.
+	cur := make([]model.NodeID, 0, p.Roots)
+	for r := 0; r < p.Roots; r++ {
+		id := model.NodeID(fmt.Sprintf("T%d", r+1))
+		sys.AddRoot(id, scheds[p.Levels-1])
+		cur = append(cur, id)
+	}
+	for l := p.Levels; l >= 1; l-- {
+		var next []model.NodeID
+		for _, t := range cur {
+			for k := 0; k < p.Fanout; k++ {
+				id := model.NodeID(fmt.Sprintf("%s.%d", t, k+1))
+				if l > 1 {
+					sys.AddTx(id, t, scheds[l-2])
+					next = append(next, id)
+				} else {
+					sys.AddLeaf(id, t)
+				}
+			}
+		}
+		cur = next
+	}
+
+	g := &generator{sys: sys, rng: rng, conflictRate: p.ConflictRate}
+	g.strongTopPairs(scheds[p.Levels-1], p.StrongRate)
+	g.run()
+	return &Execution{Sys: sys, Seqs: g.seqs}
+}
+
+// ForkParams configures Fork.
+type ForkParams struct {
+	Branches     int // number of level-1 branch schedules
+	Roots        int // transactions of the fork schedule
+	Fanout       int // subtransactions per root
+	LeavesPerSub int // leaves per subtransaction
+	ConflictRate float64
+	StrongRate   float64
+	Seed         int64
+}
+
+// Fork generates a random fork execution (Definition 23): one top schedule
+// SF whose operations are distributed over independent branch schedules;
+// operations sent to different branches never conflict.
+func Fork(p ForkParams) *Execution {
+	if p.Branches < 1 || p.Roots < 1 || p.Fanout < 1 || p.LeavesPerSub < 1 {
+		panic("workload: ForkParams must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	sys := model.NewSystem()
+	sys.AddSchedule("SF")
+	branches := make([]model.ScheduleID, p.Branches)
+	for i := range branches {
+		branches[i] = model.ScheduleID(fmt.Sprintf("B%d", i+1))
+		sys.AddSchedule(branches[i])
+	}
+	for r := 0; r < p.Roots; r++ {
+		root := model.NodeID(fmt.Sprintf("T%d", r+1))
+		sys.AddRoot(root, "SF")
+		for k := 0; k < p.Fanout; k++ {
+			sub := model.NodeID(fmt.Sprintf("%s.%d", root, k+1))
+			branch := branches[rng.Intn(len(branches))]
+			sys.AddTx(sub, root, branch)
+			for j := 0; j < p.LeavesPerSub; j++ {
+				sys.AddLeaf(model.NodeID(fmt.Sprintf("%s.%d", sub, j+1)), sub)
+			}
+		}
+	}
+	g := &generator{sys: sys, rng: rng, conflictRate: p.ConflictRate,
+		// Definition 23 item 3: cross-branch operations commute.
+		conflictOK: func(a, b model.NodeID) bool {
+			na, nb := sys.Node(a), sys.Node(b)
+			if na.IsLeaf() || nb.IsLeaf() {
+				return true
+			}
+			return na.Sched == nb.Sched
+		},
+	}
+	g.strongTopPairs("SF", p.StrongRate)
+	g.run()
+	return &Execution{Sys: sys, Seqs: g.seqs}
+}
+
+// JoinParams configures Join.
+type JoinParams struct {
+	Tops            int // number of level-2 top schedules
+	RootsPerTop     int
+	Fanout          int // subtransactions per root, all funnelled into SJ
+	LeavesPerSub    int
+	ConflictRate    float64
+	TopConflictRate float64 // conflict rate among a top schedule's operations
+	Seed            int64
+}
+
+// Join generates a random join execution (Definition 25): independent top
+// schedules whose transactions' operations are all transactions of one
+// shared bottom schedule SJ.
+func Join(p JoinParams) *Execution {
+	if p.Tops < 2 || p.RootsPerTop < 1 || p.Fanout < 1 || p.LeavesPerSub < 1 {
+		panic("workload: JoinParams must have at least two tops and positive sizes")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	sys := model.NewSystem()
+	sys.AddSchedule("SJ")
+	tops := make([]model.ScheduleID, p.Tops)
+	for i := range tops {
+		tops[i] = model.ScheduleID(fmt.Sprintf("U%d", i+1))
+		sys.AddSchedule(tops[i])
+	}
+	for i, top := range tops {
+		for r := 0; r < p.RootsPerTop; r++ {
+			root := model.NodeID(fmt.Sprintf("T%d_%d", i+1, r+1))
+			sys.AddRoot(root, top)
+			for k := 0; k < p.Fanout; k++ {
+				sub := model.NodeID(fmt.Sprintf("%s.%d", root, k+1))
+				sys.AddTx(sub, root, "SJ")
+				for j := 0; j < p.LeavesPerSub; j++ {
+					sys.AddLeaf(model.NodeID(fmt.Sprintf("%s.%d", sub, j+1)), sub)
+				}
+			}
+		}
+	}
+	g := &generator{sys: sys, rng: rng, conflictRate: p.ConflictRate,
+		rateFor: func(sched model.ScheduleID) float64 {
+			if sched == "SJ" {
+				return p.ConflictRate
+			}
+			return p.TopConflictRate
+		},
+	}
+	g.run()
+	return &Execution{Sys: sys, Seqs: g.seqs}
+}
+
+// GeneralParams configures General.
+type GeneralParams struct {
+	Depth          int // nominal schedule levels
+	SchedsPerLevel int
+	Roots          int
+	Fanout         int
+	LeafRate       float64 // probability a child operation is a leaf
+	ConflictRate   float64
+	StrongRate     float64
+	Seed           int64
+}
+
+// General generates a random general configuration: schedules arranged in
+// nominal levels with transactions descending into arbitrary lower-level
+// schedules, mixing leaf and transaction operations (the computational
+// forests of Figure 1).
+func General(p GeneralParams) *Execution {
+	if p.Depth < 1 || p.SchedsPerLevel < 1 || p.Roots < 1 || p.Fanout < 1 {
+		panic("workload: GeneralParams must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	sys := model.NewSystem()
+	byLevel := make([][]model.ScheduleID, p.Depth+1) // 1-based
+	for l := p.Depth; l >= 1; l-- {
+		for k := 0; k < p.SchedsPerLevel; k++ {
+			id := model.ScheduleID(fmt.Sprintf("S%d_%d", l, k+1))
+			sys.AddSchedule(id)
+			byLevel[l] = append(byLevel[l], id)
+		}
+	}
+
+	// Roots live at the top nominal level; each transaction's children are
+	// leaves or transactions of schedules at strictly lower nominal levels.
+	type pending struct {
+		id    model.NodeID
+		level int
+	}
+	var queue []pending
+	tops := byLevel[p.Depth]
+	for r := 0; r < p.Roots; r++ {
+		id := model.NodeID(fmt.Sprintf("T%d", r+1))
+		sys.AddRoot(id, tops[rng.Intn(len(tops))])
+		queue = append(queue, pending{id, p.Depth})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for k := 0; k < p.Fanout; k++ {
+			id := model.NodeID(fmt.Sprintf("%s.%d", cur.id, k+1))
+			if cur.level == 1 || rng.Float64() < p.LeafRate {
+				sys.AddLeaf(id, cur.id)
+				continue
+			}
+			childLevel := 1 + rng.Intn(cur.level-1)
+			sched := byLevel[childLevel][rng.Intn(len(byLevel[childLevel]))]
+			sys.AddTx(id, cur.id, sched)
+			queue = append(queue, pending{id, childLevel})
+		}
+	}
+
+	g := &generator{sys: sys, rng: rng, conflictRate: p.ConflictRate}
+	for _, top := range tops {
+		g.strongTopPairs(top, p.StrongRate)
+	}
+	g.run()
+	return &Execution{Sys: sys, Seqs: g.seqs}
+}
+
+// generator fills in conflicts and orders for a structurally complete
+// system, caller-before-callee.
+type generator struct {
+	sys          *model.System
+	rng          *rand.Rand
+	conflictRate float64
+	rateFor      func(model.ScheduleID) float64 // optional per-schedule rate
+	conflictOK   func(a, b model.NodeID) bool   // optional conflict filter
+	seqs         criteria.Sequences
+}
+
+// strongTopPairs imposes strong input orders between some pairs of a top
+// schedule's transactions (simulating callers that demand sequential
+// execution). Pairs follow a random permutation, so the strong input order
+// is acyclic by construction.
+func (g *generator) strongTopPairs(sched model.ScheduleID, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	sc := g.sys.Schedule(sched)
+	txs := g.sys.Transactions(sched)
+	perm := g.rng.Perm(len(txs))
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			if g.rng.Float64() < rate {
+				sc.StrongIn.Add(txs[perm[i]], txs[perm[j]])
+				sc.WeakIn.Add(txs[perm[i]], txs[perm[j]])
+			}
+		}
+	}
+}
+
+// run processes every schedule caller-before-callee, in invocation-graph
+// topological order.
+func (g *generator) run() {
+	g.seqs = make(criteria.Sequences)
+	sorted, ok := g.sys.InvocationGraph().TopoSort()
+	if !ok {
+		panic("workload: generated a recursive configuration")
+	}
+	for _, sched := range sorted {
+		g.fill(g.sys.Schedule(sched))
+	}
+}
+
+// fill generates conflicts, a temporal sequence and output orders for one
+// schedule, then propagates orders to callee schedules (Definition 4.7).
+func (g *generator) fill(sc *model.Schedule) {
+	sys := g.sys
+	ops := sys.Ops(sc.ID)
+
+	rate := g.conflictRate
+	if g.rateFor != nil {
+		rate = g.rateFor(sc.ID)
+	}
+	for i, a := range ops {
+		for _, b := range ops[i+1:] {
+			if sys.Parent(a) == sys.Parent(b) {
+				continue
+			}
+			if g.conflictOK != nil && !g.conflictOK(a, b) {
+				continue
+			}
+			if g.rng.Float64() < rate {
+				sc.AddConflict(a, b)
+			}
+		}
+	}
+
+	weakIn := sc.WeakIn.TransitiveClosure()
+	strongIn := sc.StrongIn.TransitiveClosure()
+
+	// Forced temporal edges.
+	forced := order.New[model.NodeID]()
+	for _, op := range ops {
+		forced.AddNode(op)
+	}
+	sc.Conflicts.Each(func(a, b model.NodeID) {
+		ta, tb := sys.Parent(a), sys.Parent(b)
+		if weakIn.Has(ta, tb) {
+			forced.Add(a, b) // Definition 3 item 1a
+		}
+		if weakIn.Has(tb, ta) {
+			forced.Add(b, a) // item 1b
+		}
+	})
+	strongIn.Each(func(ta, tb model.NodeID) {
+		for _, a := range sys.Children(ta) {
+			for _, b := range sys.Children(tb) {
+				forced.Add(a, b) // item 3
+				sc.StrongOut.Add(a, b)
+				sc.WeakOut.Add(a, b)
+			}
+		}
+	})
+	for _, t := range sys.Transactions(sc.ID) {
+		n := sys.Node(t)
+		if n.WeakIntra != nil {
+			n.WeakIntra.Each(func(a, b model.NodeID) {
+				forced.Add(a, b) // item 2
+				sc.WeakOut.Add(a, b)
+			})
+		}
+	}
+
+	seq := g.randomLinearExtension(forced)
+	g.seqs[sc.ID] = seq
+
+	pos := make(map[model.NodeID]int, len(seq))
+	for i, op := range seq {
+		pos[op] = i
+	}
+	sc.Conflicts.Each(func(a, b model.NodeID) {
+		if pos[a] < pos[b] {
+			sc.WeakOut.Add(a, b)
+		} else {
+			sc.WeakOut.Add(b, a)
+		}
+	})
+
+	// Definition 4 item 7: pass output orders down as input orders. The
+	// model's orders are transitively closed (Definition 1), so propagate
+	// from the closures — closure can relate two operations of one callee
+	// through an operation of another.
+	weakOut := sc.WeakOut.TransitiveClosure()
+	strongOut := sc.StrongOut.TransitiveClosure()
+	weakOut.Each(func(a, b model.NodeID) {
+		na, nb := sys.Node(a), sys.Node(b)
+		if na.IsLeaf() || nb.IsLeaf() || na.Sched != nb.Sched {
+			return
+		}
+		callee := sys.Schedule(na.Sched)
+		callee.WeakIn.Add(a, b)
+		if strongOut.Has(a, b) {
+			callee.StrongIn.Add(a, b)
+		}
+	})
+}
+
+// randomLinearExtension returns a uniformly random-ish topological order of
+// the forced graph (randomized Kahn's algorithm).
+func (g *generator) randomLinearExtension(forced *order.Relation[model.NodeID]) []model.NodeID {
+	nodes := forced.Nodes()
+	indeg := make(map[model.NodeID]int, len(nodes))
+	for _, n := range nodes {
+		indeg[n] = 0
+	}
+	forced.Each(func(a, b model.NodeID) { indeg[b]++ })
+	var ready []model.NodeID
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	seq := make([]model.NodeID, 0, len(nodes))
+	for len(ready) > 0 {
+		i := g.rng.Intn(len(ready))
+		n := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		seq = append(seq, n)
+		for _, m := range forced.Successors(n) {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(seq) != len(nodes) {
+		panic("workload: forced edges are cyclic")
+	}
+	return seq
+}

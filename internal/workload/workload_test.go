@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"compositetx/internal/model"
+)
+
+func TestStackShapeAndValidity(t *testing.T) {
+	exec := Stack(StackParams{Levels: 3, Roots: 2, Fanout: 2, ConflictRate: 0.3, Seed: 7})
+	if err := exec.Sys.Validate(); err != nil {
+		t.Fatalf("stack execution must validate: %v", err)
+	}
+	n, err := exec.Sys.Order()
+	if err != nil || n != 3 {
+		t.Fatalf("Order = %d, %v; want 3", n, err)
+	}
+	if got := len(exec.Sys.Roots()); got != 2 {
+		t.Fatalf("roots = %d, want 2", got)
+	}
+	// 2 roots * 2 * 2 * 2 = 16 leaves.
+	if got := len(exec.Sys.Leaves()); got != 16 {
+		t.Fatalf("leaves = %d, want 16", got)
+	}
+	// Every schedule has a recorded temporal sequence covering its ops.
+	for _, sc := range exec.Sys.Schedules() {
+		seq := exec.Seqs[sc.ID]
+		if len(seq) != len(exec.Sys.Ops(sc.ID)) {
+			t.Fatalf("schedule %s: sequence has %d ops, want %d", sc.ID, len(seq), len(exec.Sys.Ops(sc.ID)))
+		}
+	}
+}
+
+func TestStackDeterministic(t *testing.T) {
+	p := StackParams{Levels: 3, Roots: 2, Fanout: 2, ConflictRate: 0.4, StrongRate: 0.2, Seed: 42}
+	a, b := Stack(p), Stack(p)
+	da, err := a.Sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Sys.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("same seed must generate identical systems")
+	}
+	if !reflect.DeepEqual(a.Seqs, b.Seqs) {
+		t.Fatal("same seed must generate identical sequences")
+	}
+}
+
+func TestStackSeedsDiffer(t *testing.T) {
+	p := StackParams{Levels: 2, Roots: 3, Fanout: 2, ConflictRate: 0.5}
+	p2 := p
+	p2.Seed = 1
+	a, b := Stack(p), Stack(p2)
+	da, _ := a.Sys.MarshalJSON()
+	db, _ := b.Sys.MarshalJSON()
+	if string(da) == string(db) {
+		t.Fatal("different seeds should generate different executions (overwhelmingly likely)")
+	}
+}
+
+func TestForkShapeAndValidity(t *testing.T) {
+	exec := Fork(ForkParams{Branches: 3, Roots: 3, Fanout: 2, LeavesPerSub: 2, ConflictRate: 0.3, Seed: 11})
+	if err := exec.Sys.Validate(); err != nil {
+		t.Fatalf("fork execution must validate: %v", err)
+	}
+	// No cross-branch conflicts at the fork schedule (Def 23 item 3).
+	sf := exec.Sys.Schedule("SF")
+	sf.Conflicts.Each(func(a, b model.NodeID) {
+		if exec.Sys.Node(a).Sched != exec.Sys.Node(b).Sched {
+			t.Errorf("fork schedule declares a cross-branch conflict (%s,%s)", a, b)
+		}
+	})
+}
+
+func TestJoinShapeAndValidity(t *testing.T) {
+	exec := Join(JoinParams{Tops: 3, RootsPerTop: 2, Fanout: 2, LeavesPerSub: 2,
+		ConflictRate: 0.3, TopConflictRate: 0.2, Seed: 13})
+	if err := exec.Sys.Validate(); err != nil {
+		t.Fatalf("join execution must validate: %v", err)
+	}
+	// Every non-bottom schedule's op is a transaction of SJ.
+	for _, sc := range exec.Sys.Schedules() {
+		if sc.ID == "SJ" {
+			continue
+		}
+		for _, op := range exec.Sys.Ops(sc.ID) {
+			if exec.Sys.Node(op).Sched != "SJ" {
+				t.Fatalf("op %s of %s is not a transaction of SJ", op, sc.ID)
+			}
+		}
+	}
+}
+
+func TestGeneralValidityAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		exec := General(GeneralParams{
+			Depth: 3, SchedsPerLevel: 2, Roots: 3, Fanout: 3,
+			LeafRate: 0.4, ConflictRate: 0.5, StrongRate: 0.1, Seed: seed,
+		})
+		if err := exec.Sys.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSequencesRespectWeakOut(t *testing.T) {
+	// The recorded temporal sequence must be consistent with the recorded
+	// weak output order (the weak output order is derived from it).
+	exec := Stack(StackParams{Levels: 3, Roots: 3, Fanout: 2, ConflictRate: 0.6, StrongRate: 0.3, Seed: 3})
+	for _, sc := range exec.Sys.Schedules() {
+		pos := map[model.NodeID]int{}
+		for i, op := range exec.Seqs[sc.ID] {
+			pos[op] = i
+		}
+		sc.WeakOut.Each(func(a, b model.NodeID) {
+			if pos[a] >= pos[b] {
+				t.Errorf("schedule %s: weak output %s≺%s contradicts sequence", sc.ID, a, b)
+			}
+		})
+	}
+}
+
+func TestStrongRateProducesStrongOrders(t *testing.T) {
+	exec := Stack(StackParams{Levels: 2, Roots: 4, Fanout: 2, ConflictRate: 0.2, StrongRate: 0.9, Seed: 5})
+	total := 0
+	for _, sc := range exec.Sys.Schedules() {
+		total += sc.StrongIn.Len()
+	}
+	if total == 0 {
+		t.Fatal("StrongRate 0.9 should produce strong input orders")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"stack":   func() { Stack(StackParams{}) },
+		"fork":    func() { Fork(ForkParams{}) },
+		"join":    func() { Join(JoinParams{Tops: 1, RootsPerTop: 1, Fanout: 1, LeavesPerSub: 1}) },
+		"general": func() { General(GeneralParams{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on zero params", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+package compositetx
+
+import (
+	"io"
+
+	"compositetx/internal/data"
+	"compositetx/internal/sched"
+	"compositetx/internal/workload"
+)
+
+// Runtime façade: the prototype composite system (internal/sched).
+type (
+	// Runtime is a running composite system: components with semantic
+	// lock managers connected per a topology, exercised by concurrent
+	// Submit calls, recording its execution for the checker.
+	Runtime = sched.Runtime
+	// Topology declares components, invocation edges and entry points.
+	Topology = sched.Topology
+	// ComponentSpec declares one component.
+	ComponentSpec = sched.ComponentSpec
+	// Protocol selects the concurrency-control discipline.
+	Protocol = sched.Protocol
+	// Invocation is a tree-shaped transaction program.
+	Invocation = sched.Invocation
+	// Step is one program step: leaf operation or child invocation.
+	Step = sched.Step
+	// TxResult reports a committed transaction.
+	TxResult = sched.TxResult
+	// Metrics aggregates runtime counters.
+	Metrics = sched.Metrics
+	// WorkloadParams configures GenPrograms.
+	WorkloadParams = sched.WorkloadParams
+	// DeadlockPolicy selects deadlock handling (WaitDie or DetectWFG);
+	// set Runtime.Deadlock before submitting transactions.
+	DeadlockPolicy = sched.DeadlockPolicy
+
+	// Op is a data-store operation; Mode its semantic class.
+	Op = data.Op
+	// Mode names the semantic class of an operation.
+	Mode = data.Mode
+	// ModeTable is a commutativity (conflict) specification over modes.
+	ModeTable = data.ModeTable
+	// Store is the in-memory integer store leaf components own.
+	Store = data.Store
+)
+
+// Concurrency-control protocols (see the sched package documentation for
+// the soundness discussion: OpenNested is unsound on join/diamond
+// configurations — the paper's Figure 3 phenomenon — which Hybrid fixes).
+const (
+	OpenNested   = sched.OpenNested
+	ClosedNested = sched.ClosedNested
+	Global2PL    = sched.Global2PL
+	Hybrid       = sched.Hybrid
+	NoCC         = sched.NoCC
+)
+
+// Deadlock-handling policies.
+const (
+	// WaitDie prevents deadlocks by sacrificing younger requesters.
+	WaitDie = sched.WaitDie
+	// DetectWFG detects waiting cycles on a global waits-for graph and
+	// sacrifices the request that closes one.
+	DetectWFG = sched.DetectWFG
+)
+
+// Built-in operation modes, plus the escrow-style banking modes (semantic
+// classes implemented as increments/reads via Op.Impl).
+const (
+	ModeRead  = data.ModeRead
+	ModeWrite = data.ModeWrite
+	ModeIncr  = data.ModeIncr
+
+	ModeDeposit  = data.ModeDeposit
+	ModeWithdraw = data.ModeWithdraw
+	ModeAudit    = data.ModeAudit
+)
+
+// SemanticTable is the full-knowledge commutativity specification
+// (increments commute); RWTable the classical read/write one.
+func SemanticTable() *ModeTable { return data.SemanticTable() }
+
+// RWTable is the no-knowledge conflict table (increments are
+// read-modify-writes).
+func RWTable() *ModeTable { return data.RWTable() }
+
+// EscrowTable is the escrow banking specification: deposits commute,
+// withdrawals conflict with each other, audits conflict with both.
+func EscrowTable() *ModeTable { return data.EscrowTable() }
+
+// NewModeTable returns an empty commutativity specification; declare
+// conflicting mode pairs with Declare.
+func NewModeTable() *ModeTable { return data.NewModeTable() }
+
+// Reference topologies.
+
+// StackTopology is a linear chain of components (multilevel shape).
+func StackTopology(depth int) *Topology { return sched.StackTopology(depth) }
+
+// BankTopology is a bank delegating to two branch components.
+func BankTopology() *Topology { return sched.BankTopology() }
+
+// DiamondTopology is a general configuration where two independent entry
+// components interfere only through a shared bottom component.
+func DiamondTopology() *Topology { return sched.DiamondTopology() }
+
+// GenPrograms generates typed random transaction programs over a topology.
+func GenPrograms(t *Topology, p WorkloadParams) []Invocation {
+	return sched.GenPrograms(t, p)
+}
+
+// Run submits every program on a pool of client goroutines.
+func Run(rt *Runtime, programs []Invocation, clients int) error {
+	return sched.Run(rt, programs, clients)
+}
+
+// DecodeTopology reads a topology from its JSON representation (see
+// cmd/compsim -topo-file and testdata/topology_shop.json).
+func DecodeTopology(r io.Reader) (*Topology, error) {
+	return sched.DecodeTopology(r)
+}
+
+// Random-execution generators (for checker-side experiments).
+type (
+	// StackParams configures GenerateStack.
+	StackParams = workload.StackParams
+	// ForkParams configures GenerateFork.
+	ForkParams = workload.ForkParams
+	// JoinParams configures GenerateJoin.
+	JoinParams = workload.JoinParams
+	// GeneralParams configures GenerateGeneral.
+	GeneralParams = workload.GeneralParams
+	// Execution bundles a generated system with temporal sequences.
+	Execution = workload.Execution
+)
+
+// GenerateStack generates a random stack execution.
+func GenerateStack(p StackParams) *Execution { return workload.Stack(p) }
+
+// GenerateFork generates a random fork execution.
+func GenerateFork(p ForkParams) *Execution { return workload.Fork(p) }
+
+// GenerateJoin generates a random join execution.
+func GenerateJoin(p JoinParams) *Execution { return workload.Join(p) }
+
+// GenerateGeneral generates a random general-configuration execution.
+func GenerateGeneral(p GeneralParams) *Execution { return workload.General(p) }

@@ -1,0 +1,77 @@
+package compositetx_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	ctx "compositetx"
+)
+
+// TestTestdataFiles exercises the on-disk format end to end: the shipped
+// JSON files (the paper's figures, also usable with cmd/compcheck) decode,
+// validate, and yield the documented verdicts.
+func TestTestdataFiles(t *testing.T) {
+	want := map[string]bool{
+		"figure1.json": true,
+		"figure2.json": true,
+		"figure3.json": false,
+		"figure4.json": true,
+	}
+	for name, correct := range want {
+		t.Run(name, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			sys, err := ctx.DecodeSystem(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			ok, err := ctx.IsCompC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != correct {
+				t.Fatalf("IsCompC = %v, want %v", ok, correct)
+			}
+		})
+	}
+}
+
+// TestTestdataMatchesBuiltins: the shipped files stay in sync with the
+// in-code figure constructors.
+func TestTestdataMatchesBuiltins(t *testing.T) {
+	builtins := map[string]*ctx.System{
+		"figure1.json": ctx.Figure1System(),
+		"figure2.json": ctx.Figure2System(),
+		"figure3.json": ctx.Figure3System(),
+		"figure4.json": ctx.Figure4System(),
+	}
+	for name, sys := range builtins {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := sys.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The file is indented; compare decoded forms instead of bytes.
+		fromFile := ctx.NewSystem()
+		if err := fromFile.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		reenc, err := fromFile.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(reenc) {
+			t.Fatalf("%s out of sync with the built-in constructor", name)
+		}
+	}
+}
