@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test verify race bench experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the CI gate: vet + build + the full test suite under the race
+# detector (covering the sched runtime and the CheckBatch worker pool).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# race runs only the parallel-path packages under the race detector —
+# quicker than verify when iterating on sched or front.
+race:
+	$(GO) test -race ./internal/sched ./internal/front .
+
+# bench regenerates BENCH_checker.json: the E1/E2/E7 tables plus checker
+# microbenchmarks (ns/op and CheckBatch worker scaling). See DESIGN.md §6.1.
+bench:
+	$(GO) run ./cmd/compbench -only E1,E2,E7 -json BENCH_checker.json
+
+# experiments regenerates every E1-E9 table on stdout.
+experiments:
+	$(GO) run ./cmd/compbench
+
+clean:
+	$(GO) clean ./...

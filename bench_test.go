@@ -6,6 +6,7 @@ package compositetx_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -149,6 +150,33 @@ func BenchmarkE7CheckerScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCheckBatch measures batch-checking a slab of distinct mid-size
+// systems on worker pools of increasing size. Scaling is bounded by the
+// CPUs actually available (near-linear to 8 workers on >=8 cores; flat on
+// a single-core machine) — compare against the reported cpus metric.
+func BenchmarkCheckBatch(b *testing.B) {
+	systems := make([]*ctx.System, 64)
+	for i := range systems {
+		systems[i] = workload.Stack(workload.StackParams{
+			Levels: 3, Roots: 8, Fanout: 2, ConflictRate: 0.05, Seed: int64(i + 1),
+		}).Sys
+		systems[i].Intern()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			for i := 0; i < b.N; i++ {
+				for _, r := range ctx.CheckBatch(systems, workers, ctx.CheckOptions{}) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(systems))*float64(b.N)/b.Elapsed().Seconds(), "systems/s")
 		})
 	}
 }

@@ -3,21 +3,38 @@
 //
 // Usage:
 //
-//	compbench [-only E4] [-samples n]   (experiments E1..E9)
+//	compbench [-only E4] [-samples n] [-json out.json]
+//
+// -only accepts a comma-separated list (e.g. -only E1,E2,E7). With -json,
+// the selected tables plus the checker microbenchmarks (ns/op for the
+// E1/E2 units, the E7 scaling configurations, and CheckBatch throughput at
+// 1 vs 8 workers) are also written to the given file; the repository keeps
+// the result as BENCH_checker.json so the checker's perf trajectory is
+// machine-readable across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"compositetx/internal/sim"
 )
 
+// benchDoc is the -json output shape (persisted as BENCH_checker.json).
+type benchDoc struct {
+	CPUs       int               `json:"cpus"`
+	Tables     []*sim.Table      `json:"tables"`
+	Benchmarks []sim.BenchResult `json:"benchmarks"`
+}
+
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E9)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
+	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	flag.Parse()
 
 	run := map[string]func() *sim.Table{
@@ -31,17 +48,51 @@ func main() {
 		"E8": func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
 		"E9": func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
 	}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	if *only != "" {
-		fn, ok := run[strings.ToUpper(*only)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "compbench: unknown experiment %q\n", *only)
+		ids = nil
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if _, ok := run[id]; !ok {
+				fmt.Fprintf(os.Stderr, "compbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	var tables []*sim.Table
+	for _, id := range ids {
+		t := run[id]()
+		t.Render(os.Stdout)
+		tables = append(tables, t)
+	}
+
+	if *jsonOut != "" {
+		fmt.Fprintln(os.Stderr, "compbench: running checker benchmarks...")
+		doc := benchDoc{
+			CPUs:       runtime.NumCPU(),
+			Tables:     tables,
+			Benchmarks: sim.CheckerBenchmarks(),
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
 			os.Exit(2)
 		}
-		fn().Render(os.Stdout)
-		return
-	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
-		run[id]().Render(os.Stdout)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }
 

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	compcheck [-trace] [-example name] [file.json]
+//	compcheck [-trace] [-example name] [-parallel n] [file.json ...]
 //
 // The input is a JSON system (see model's codec; produce one with
 // (*System).Encode or by hand). With no file, stdin is read. The built-in
 // paper examples are available via -example figure1|figure2|figure3|figure4.
 //
-// Exit status: 0 correct, 1 incorrect, 2 invalid input.
+// With several files (or -parallel > 1), the systems are checked as one
+// CheckBatch on a worker pool of the given size (-parallel 0 = one worker
+// per CPU) and one verdict line is printed per file.
+//
+// Exit status: 0 correct, 1 incorrect, 2 invalid input. With several
+// files, the worst status across all inputs.
 package main
 
 import (
@@ -27,7 +32,12 @@ func main() {
 	dot := flag.Bool("dot", false, "print the system as Graphviz DOT instead of checking")
 	analyze := flag.Bool("analyze", false, "run every applicable criterion, not just Comp-C")
 	example := flag.String("example", "", "check a built-in paper example (figure1..figure4)")
+	parallel := flag.Int("parallel", 1, "batch worker-pool size for multiple files (0 = one per CPU)")
 	flag.Parse()
+
+	if len(flag.Args()) > 1 || (*parallel != 1 && len(flag.Args()) > 0) {
+		os.Exit(runBatch(flag.Args(), *parallel, *trace, *jsonOut))
+	}
 
 	sys, err := load(*example, flag.Arg(0))
 	if err != nil {
@@ -80,6 +90,55 @@ func main() {
 	}
 }
 
+// runBatch checks every file as one CheckBatch and prints a verdict line
+// per input; it returns the worst exit status seen.
+func runBatch(paths []string, parallelism int, trace, jsonOut bool) int {
+	systems := make([]*ctx.System, len(paths))
+	status := 0
+	for i, path := range paths {
+		sys, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compcheck: %s: %v\n", path, err)
+			status = 2
+			continue // leaves a nil slot: CheckBatch reports it, we skip it
+		}
+		if err := sys.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "compcheck: %s: invalid composite system:\n%v\n", path, err)
+			status = 2
+			continue
+		}
+		systems[i] = sys
+	}
+	results := ctx.CheckBatch(systems, parallelism, ctx.CheckOptions{KeepFronts: trace})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i, r := range results {
+		if systems[i] == nil {
+			continue // load error already reported
+		}
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(os.Stderr, "compcheck: %s: %v\n", paths[i], r.Err)
+			status = 2
+			continue
+		case jsonOut:
+			fmt.Printf("%s:\n", paths[i])
+			if err := enc.Encode(r.Verdict); err != nil {
+				fmt.Fprintf(os.Stderr, "compcheck: %v\n", err)
+				return 2
+			}
+		case trace:
+			fmt.Printf("%s:\n%s", paths[i], r.Verdict.Trace())
+		default:
+			fmt.Printf("%s: %v\n", paths[i], r.Verdict)
+		}
+		if !r.Verdict.Correct && status == 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
 func load(example, path string) (*ctx.System, error) {
 	switch example {
 	case "figure1":
@@ -104,4 +163,13 @@ func load(example, path string) (*ctx.System, error) {
 		in = f
 	}
 	return ctx.DecodeSystem(in)
+}
+
+func loadFile(path string) (*ctx.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ctx.DecodeSystem(f)
 }

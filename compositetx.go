@@ -97,6 +97,19 @@ func Check(sys *System, opts CheckOptions) (*Verdict, error) {
 // IsCompC is Check reduced to its boolean verdict.
 func IsCompC(sys *System) (bool, error) { return front.IsCompC(sys) }
 
+// BatchResult pairs one system's Comp-C verdict with its per-system error;
+// CheckBatch returns one per input, in input order.
+type BatchResult = front.BatchResult
+
+// CheckBatch checks many recorded executions concurrently on a worker pool
+// of the given size (parallelism < 1 means one worker per CPU). Input
+// systems may alias each other; shared systems are interned once up front
+// so the fan-out phase never mutates them. A nil system yields an error
+// result in its slot without affecting the others.
+func CheckBatch(systems []*System, parallelism int, opts CheckOptions) []BatchResult {
+	return front.CheckBatch(systems, parallelism, opts)
+}
+
 // IsCC reports conflict consistency of a single schedule: it serialized
 // its transactions compatibly with its weak input orders.
 func IsCC(sys *System, sched ScheduleID) bool {

@@ -1,0 +1,84 @@
+package front
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"compositetx/internal/model"
+)
+
+// errNilSystem is returned for nil entries in a CheckBatch input slice.
+var errNilSystem = errors.New("front: nil system")
+
+// BatchResult is the outcome of checking one system of a batch: exactly
+// one of Verdict and Err is non-nil.
+type BatchResult struct {
+	Verdict *Verdict
+	Err     error
+}
+
+// CheckBatch checks many systems concurrently on a worker pool and
+// returns one result per system, in input order. parallelism is the
+// number of workers; values < 1 select runtime.GOMAXPROCS(0). Nil systems
+// and duplicate pointers to the same system are allowed: every interner
+// is built sequentially up front, after which the per-check state is
+// private to each worker and the systems are only read.
+//
+// CheckBatch is how the experiment drivers (internal/sim) and cmd/compcheck
+// -parallel amortize checking across cores; single checks should call
+// Check directly.
+func CheckBatch(systems []*model.System, parallelism int, opts Options) []BatchResult {
+	results := make([]BatchResult, len(systems))
+	if len(systems) == 0 {
+		return results
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(systems) {
+		parallelism = len(systems)
+	}
+
+	// Check mutates a system only by caching its interner; building them
+	// all before fanning out makes the concurrent phase read-only even
+	// when one *System appears at several indices.
+	for _, sys := range systems {
+		if sys != nil {
+			sys.Intern()
+		}
+	}
+
+	if parallelism == 1 {
+		for i, sys := range systems {
+			results[i] = checkOne(sys, opts)
+		}
+		return results
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = checkOne(systems[i], opts)
+			}
+		}()
+	}
+	for i := range systems {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func checkOne(sys *model.System, opts Options) BatchResult {
+	if sys == nil {
+		return BatchResult{Err: errNilSystem}
+	}
+	v, err := Check(sys, opts)
+	return BatchResult{Verdict: v, Err: err}
+}

@@ -1,0 +1,30 @@
+package front
+
+import "compositetx/internal/model"
+
+// Hook for the equivalence tests in indexed_test.go, which live in the
+// external package front_test because they generate inputs with
+// internal/workload (which imports this package via internal/criteria).
+
+// RunIndexedReduction drives the interned-index engine alone — sysIndex
+// build, level 0, every step — without verdict assembly, for benchmarks.
+// It reports whether the reduction reached the level-N front.
+func RunIndexedReduction(sys *model.System) (bool, error) {
+	levels, err := sys.Levels()
+	if err != nil {
+		return false, err
+	}
+	si := buildSysIndex(sys, levels)
+	f := si.level0()
+	if si.ccCycle(f) != nil {
+		return false, nil
+	}
+	for f.level < si.order {
+		nf, _ := si.step(f)
+		if nf == nil {
+			return false, nil
+		}
+		f = nf
+	}
+	return true, nil
+}

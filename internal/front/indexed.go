@@ -1,0 +1,636 @@
+package front
+
+import (
+	"fmt"
+	"math/bits"
+
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// This file is the interned-index reduction engine: the hot path of Check.
+//
+// The string-keyed Level0/Step in front.go remain the readable reference
+// implementation of Definitions 15–16 (and the public stepwise API); Check
+// runs the reduction below instead, entirely on dense int32-indexed bitset
+// relations (order.IndexRelation / order.ClosedRelation over a
+// model.Interner). The two paths are decision-equivalent; the property
+// tests in indexed_test.go assert verdict equality against checkReference
+// on random stack/fork/join workloads, and every failure diagnostic is
+// delegated back to the reference Step so incorrectness traces stay
+// byte-identical.
+//
+// Speed comes from three changes:
+//
+//   - per-System interning: every NodeID becomes an int32 assigned in
+//     lexicographic order, so relation rows are bitset words, membership is
+//     a bit test, and deterministic iteration is ascending index order;
+//   - index-side normalization: schedule orders are transitively closed as
+//     dense relations while building the sysIndex, so Check neither clones
+//     nor string-normalizes the system;
+//   - incremental closure: the observed order of each new front is kept in
+//     an order.ClosedRelation, updated per lifted pair, instead of
+//     re-running the full SCC closure per level (Definition 10 rule 4).
+
+// sysIndex is the per-Check interned view of a composite system. Building
+// it reads but never mutates the system (apart from the cached interner).
+type sysIndex struct {
+	sys *model.System
+	in  *model.Interner
+	n   int
+
+	schedIDs []model.ScheduleID // sorted, index = schedule number
+
+	parent  []int32      // parent node index; -1 for roots
+	opSched []int32      // schedule number the node is an operation of; -1 for roots
+	isLeaf  order.Bitset // leaf operations
+	roots   []int32      // root transactions, ascending
+
+	// conf is the global symmetric conflict predicate: (a, b) iff a and b
+	// are operations of one common schedule that declares them conflicting
+	// (Definition 11 case 1).
+	conf *order.IndexRelation
+
+	// Per schedule (index = schedule number). The order relations carry
+	// Normalize's semantics on the index side: transitively closed, strong
+	// orders folded into the weak ones.
+	ops      []order.Bitset         // operation set of the schedule
+	txs      [][]int32              // transactions assigned, ascending
+	weakOut  []*order.IndexRelation // ≺ (closed, ≪ folded in)
+	confOut  []*order.IndexRelation // conflicting pairs directed by ≺
+	weakIn   []*order.IndexRelation // → (closed, ⇒ folded in)
+	strongIn []*order.IndexRelation // ⇒ (closed)
+	intraOut []*order.IndexRelation // union of the txs' closed weak intra orders
+
+	order    int     // N, the highest schedule level
+	schedsAt [][]int // schedule numbers per level 1..order, ascending
+}
+
+func buildSysIndex(sys *model.System, levels map[model.ScheduleID]int) *sysIndex {
+	in := sys.Intern()
+	n := in.Len()
+	si := &sysIndex{sys: sys, in: in, n: n}
+
+	schedNum := make(map[model.ScheduleID]int)
+	for _, sc := range sys.Schedules() {
+		schedNum[sc.ID] = len(si.schedIDs)
+		si.schedIDs = append(si.schedIDs, sc.ID)
+	}
+	nS := len(si.schedIDs)
+
+	si.parent = make([]int32, n)
+	si.opSched = make([]int32, n)
+	si.isLeaf = order.NewBitset(n)
+	si.ops = make([]order.Bitset, nS)
+	si.txs = make([][]int32, nS)
+	for s := range si.ops {
+		si.ops[s] = order.NewBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		id := in.ID(int32(i))
+		nd := sys.Node(id)
+		si.parent[i] = in.Index(nd.Parent) // -1 for roots ("" is not interned)
+		if nd.IsLeaf() {
+			si.isLeaf.Set(i)
+		}
+		if nd.IsRoot() {
+			si.roots = append(si.roots, int32(i))
+		} else if nd.Sched != "" {
+			if s, ok := schedNum[nd.Sched]; ok {
+				si.txs[s] = append(si.txs[s], int32(i)) // ascending: i ascends
+			}
+		}
+		si.opSched[i] = -1
+		if os := sys.OpSchedule(id); os != "" {
+			if s, ok := schedNum[os]; ok {
+				si.opSched[i] = int32(s)
+				si.ops[s].Set(i)
+			}
+		}
+	}
+	// Root transactions also belong to their schedule's transaction set.
+	for _, r := range si.roots {
+		if nd := sys.Node(in.ID(r)); nd.Sched != "" {
+			if s, ok := schedNum[nd.Sched]; ok {
+				si.txs[s] = append(si.txs[s], r)
+			}
+		}
+	}
+	for s := range si.txs {
+		sortInt32(si.txs[s])
+	}
+
+	idx := func(id model.NodeID) int { return int(in.Index(id)) }
+	toIndex := func(r *order.Relation[model.NodeID]) *order.IndexRelation {
+		out := order.NewIndexRelation(n)
+		r.Each(func(a, b model.NodeID) {
+			ia, ib := idx(a), idx(b)
+			if ia >= 0 && ib >= 0 {
+				out.Add(ia, ib)
+			}
+		})
+		return out
+	}
+
+	si.conf = order.NewIndexRelation(n)
+	si.weakOut = make([]*order.IndexRelation, nS)
+	si.confOut = make([]*order.IndexRelation, nS)
+	si.weakIn = make([]*order.IndexRelation, nS)
+	si.strongIn = make([]*order.IndexRelation, nS)
+	si.intraOut = make([]*order.IndexRelation, nS)
+	for s, scID := range si.schedIDs {
+		sc := sys.Schedule(scID)
+
+		wo := toIndex(sc.WeakOut)
+		wo.Or(toIndex(sc.StrongOut))
+		si.weakOut[s] = wo.TransitiveClosure()
+
+		wi := toIndex(sc.WeakIn)
+		wi.Or(toIndex(sc.StrongIn))
+		si.weakIn[s] = wi.TransitiveClosure()
+		si.strongIn[s] = toIndex(sc.StrongIn).TransitiveClosure()
+
+		si.confOut[s] = order.NewIndexRelation(n)
+		sc.Conflicts.Each(func(a, b model.NodeID) {
+			ia, ib := idx(a), idx(b)
+			if ia < 0 || ib < 0 {
+				return
+			}
+			if si.weakOut[s].Has(ia, ib) {
+				si.confOut[s].Add(ia, ib)
+			}
+			if si.weakOut[s].Has(ib, ia) {
+				si.confOut[s].Add(ib, ia)
+			}
+			// Global predicate: only pairs between the schedule's own
+			// operations (what Schedule.Conflict answers for the reduction).
+			if si.opSched[ia] == int32(s) && si.opSched[ib] == int32(s) {
+				si.conf.AddSym(ia, ib)
+			}
+		})
+
+		intra := order.NewIndexRelation(n)
+		for _, t := range si.txs[s] {
+			nd := sys.Node(in.ID(t))
+			if nd.WeakIntra != nil {
+				intra.Or(toIndex(nd.WeakIntra))
+			}
+			if nd.StrongIntra != nil {
+				intra.Or(toIndex(nd.StrongIntra))
+			}
+		}
+		// Distinct transactions have disjoint operation sets, so one
+		// closure of the union equals the union of per-transaction
+		// closures (Normalize's per-node result).
+		si.intraOut[s] = intra.TransitiveClosure()
+	}
+
+	for _, l := range levels {
+		if l > si.order {
+			si.order = l
+		}
+	}
+	si.schedsAt = make([][]int, si.order+1)
+	for s, scID := range si.schedIDs {
+		l := levels[scID]
+		if l >= 1 && l <= si.order {
+			si.schedsAt[l] = append(si.schedsAt[l], s) // ascending schedule number
+		}
+	}
+	return si
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// iFront is a computational front on interned indices: the dense
+// counterpart of Front.
+type iFront struct {
+	level    int
+	nodes    order.Bitset
+	count    int
+	obs      *order.ClosedRelation // <o, transitively closed throughout
+	con      *order.IndexRelation  // CON, symmetric
+	weakIn   *order.IndexRelation
+	strongIn *order.IndexRelation
+}
+
+// level0 builds the all-leaves front of Definition 15 on indices.
+func (si *sysIndex) level0() *iFront {
+	f := &iFront{
+		level:    0,
+		nodes:    si.isLeaf.Clone(),
+		con:      order.NewIndexRelation(si.n),
+		weakIn:   order.NewIndexRelation(si.n),
+		strongIn: order.NewIndexRelation(si.n),
+	}
+	f.count = f.nodes.Count()
+	raw := order.NewIndexRelation(si.n)
+	for s := range si.schedIDs {
+		m := si.ops[s].Clone()
+		m.And(si.isLeaf)
+		if !m.Any() {
+			continue
+		}
+		m.Each(func(a int) {
+			if row := si.weakOut[s].Row(a); row != nil {
+				raw.MutRow(a).OrAnd(row, m) // Definition 10 rule 1
+			}
+			if row := si.conf.Row(a); row != nil {
+				f.con.MutRow(a).OrAnd(row, m) // Definition 11 case 1
+			}
+		})
+	}
+	f.obs = order.CloseRelation(raw) // rule 4
+	return f
+}
+
+// ccCycle returns a witness cycle violating conflict consistency
+// (Definition 13) of an indexed front, or nil when the front is CC.
+func (si *sysIndex) ccCycle(f *iFront) []int32 {
+	u := f.obs.Rel().Clone()
+	u.Or(f.weakIn)
+	return findCycleIdx(u, f.nodes)
+}
+
+// step performs one reduction step (Definition 16) on indices. On failure
+// nf is nil and rep carries the same diagnostic the reference Step would
+// produce — same failure kind, bad transaction, and witness cycle, found
+// by the same lexicographic traversal (findCycleIdx).
+func (si *sysIndex) step(f *iFront) (nf *iFront, rep *StepReport) {
+	level := f.level + 1
+	scheds := si.schedsAt[level]
+	rep = &StepReport{Level: level}
+
+	var newTx []int32
+	reduced := order.NewBitset(si.n)
+	for _, s := range scheds {
+		newTx = append(newTx, si.txs[s]...)
+		reduced.Or(si.ops[s])
+	}
+	rep.Reduced = si.reducedIDs(newTx)
+	bad := reduced.Clone()
+	bad.AndNot(f.nodes)
+	bad.Each(func(op int) {
+		// Cannot happen in a well-formed system; mirrors the reference Step.
+		panic(fmt.Sprintf("front: op %s of %s not in level %d front",
+			si.in.ID(int32(op)), si.in.ID(si.parent[op]), f.level))
+	})
+	group := func(i int) int {
+		if reduced.Has(i) {
+			return int(si.parent[i])
+		}
+		return i
+	}
+
+	// --- Definition 16 step 1 (interpretation D3): constraint relation E.
+	e := order.NewIndexRelation(si.n)
+	f.nodes.Each(func(i int) {
+		or, cr := f.obs.Row(i), f.con.Row(i)
+		if or != nil && cr != nil {
+			e.MutRow(i).OrAnd(or, cr) // observed order between conflicting nodes
+		}
+	})
+	e.Or(f.strongIn)
+	for _, s := range scheds {
+		e.Or(si.confOut[s])  // reduced schedules' conflicting output pairs
+		e.Or(si.intraOut[s]) // reduced transactions' weak intra orders
+	}
+
+	// Does the rearranged front F** exist? Internal acyclicity per group in
+	// ascending (= lexicographic) group order — the reference GroupableBy
+	// reports the first bad group in sorted order — then acyclicity of the
+	// quotient.
+	groups := f.nodes.Clone()
+	groups.AndNot(reduced)
+	newTxMask := order.NewBitset(si.n)
+	for _, t := range newTx {
+		groups.Set(int(t))
+		newTxMask.Set(int(t))
+	}
+	badGroup := -1
+	groups.Each(func(g int) {
+		if badGroup >= 0 {
+			return
+		}
+		if newTxMask.Has(g) {
+			if subgraphCyclic(e, si.childOps(int32(g))) {
+				badGroup = g
+			}
+		} else if e.Has(g, g) {
+			badGroup = g // cyclic singleton group
+		}
+	})
+	if badGroup >= 0 {
+		rep.Failure = FailCalculation
+		rep.BadTransaction = si.in.ID(int32(badGroup))
+		members := order.NewBitset(si.n)
+		if newTxMask.Has(badGroup) {
+			for _, op := range si.childOps(int32(badGroup)) {
+				members.Set(int(op))
+			}
+		} else {
+			members.Set(badGroup)
+		}
+		rep.Cycle = si.nodeIDs(findCycleIdx(e, members))
+		return nil, rep
+	}
+	q := order.NewIndexRelation(si.n)
+	e.Each(func(i, j int) {
+		gi, gj := group(i), group(j)
+		if gi != gj {
+			q.Add(gi, gj)
+		}
+	})
+	if c := findCycleIdx(q, groups); c != nil {
+		rep.Failure = FailIsolation
+		rep.Cycle = si.nodeIDs(c)
+		return nil, rep
+	}
+
+	// --- Definition 16 steps 2–5: build the new front.
+	nf = &iFront{
+		level:    level,
+		con:      order.NewIndexRelation(si.n),
+		weakIn:   order.NewIndexRelation(si.n),
+		strongIn: order.NewIndexRelation(si.n),
+	}
+	nf.nodes = f.nodes.Clone()
+	nf.nodes.AndNot(reduced)
+	for _, t := range newTx {
+		nf.nodes.Set(int(t))
+	}
+	nf.count = nf.nodes.Count()
+
+	obs := order.NewClosedRelation(si.n)
+	// (a) Definition 10 rule 2 at each reduced schedule.
+	for _, s := range scheds {
+		si.confOut[s].Each(func(a, b int) {
+			if pa, pb := group(a), group(b); pa != pb {
+				obs.Insert(pa, pb)
+			}
+		})
+	}
+	// (b) Lift existing observed-order pairs; a pair of operations of one
+	// common schedule that declares no conflict is forgotten.
+	f.obs.Each(func(a, b int) {
+		la, lb := group(a), group(b)
+		if la == lb {
+			return
+		}
+		if reduced.Has(a) && reduced.Has(b) {
+			if sa := si.opSched[a]; sa >= 0 && sa == si.opSched[b] && !si.conf.Has(a, b) {
+				return // forgotten: common schedule, no conflict
+			}
+		}
+		obs.Insert(la, lb)
+	})
+	// (c) Definition 10 rule 1 for pairs of a new node and a leaf front
+	// node of its operation schedule.
+	for _, t := range newTx {
+		st := si.opSched[t]
+		if st < 0 {
+			continue // root transaction
+		}
+		cand := si.ops[st].Clone()
+		cand.And(nf.nodes)
+		cand.And(si.isLeaf) // new nodes are transactions; rule 1 needs a leaf
+		ti := int(t)
+		cand.Each(func(o int) {
+			if si.weakOut[st].Has(ti, o) {
+				obs.Insert(ti, o)
+			}
+			if si.weakOut[st].Has(o, ti) {
+				obs.Insert(o, ti)
+			}
+		})
+	}
+	nf.obs = obs // closed incrementally throughout — rule 4 holds already
+
+	// Input orders, step 6: surviving pairs plus the reduced schedules'
+	// input orders.
+	f.nodes.Each(func(i int) {
+		if !nf.nodes.Has(i) {
+			return
+		}
+		if row := f.weakIn.Row(i); row != nil {
+			nf.weakIn.MutRow(i).OrAnd(row, nf.nodes)
+		}
+		if row := f.strongIn.Row(i); row != nil {
+			nf.strongIn.MutRow(i).OrAnd(row, nf.nodes)
+		}
+	})
+	for _, s := range scheds {
+		nf.weakIn.Or(si.weakIn[s])
+		nf.strongIn.Or(si.strongIn[s])
+	}
+
+	si.recomputeCon(nf)
+
+	// Definition 16 step 6: the new front must be conflict consistent.
+	u := nf.obs.Rel().Clone()
+	u.Or(nf.weakIn)
+	if c := findCycleIdx(u, nf.nodes); c != nil {
+		rep.Failure = FailCC
+		rep.Cycle = si.nodeIDs(c)
+		return nil, rep
+	}
+	return nf, rep
+}
+
+// recomputeCon rebuilds the generalized conflict relation (Definition 11)
+// of a front with word-parallel row operations: same-schedule pairs take
+// the schedule's predicate, cross-schedule pairs conflict iff
+// observed-ordered in either direction.
+func (si *sysIndex) recomputeCon(f *iFront) {
+	words := len(f.nodes)
+	f.nodes.Each(func(i int) {
+		confRow := si.conf.Row(i)
+		obsRow := f.obs.Row(i)
+		predRow := f.obs.PredRow(i)
+		if confRow == nil && obsRow == nil && predRow == nil {
+			return
+		}
+		var same order.Bitset
+		if s := si.opSched[i]; s >= 0 {
+			same = si.ops[s]
+		}
+		row := f.con.MutRow(i)
+		for w := 0; w < words; w++ {
+			v := bword(confRow, w) & f.nodes[w]
+			v |= (bword(obsRow, w) | bword(predRow, w)) & f.nodes[w] &^ bword(same, w)
+			row[w] |= v
+		}
+		row.Clear(i) // CON is irreflexive
+	})
+}
+
+func bword(b order.Bitset, w int) uint64 {
+	if b == nil {
+		return 0
+	}
+	return b[w]
+}
+
+// childOps returns the operation indices of transaction t, ascending.
+func (si *sysIndex) childOps(t int32) []int32 {
+	var out []int32
+	for i := 0; i < si.n; i++ {
+		if si.parent[i] == t {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// subgraphCyclic reports whether e restricted to members contains a cycle.
+func subgraphCyclic(e *order.IndexRelation, members []int32) bool {
+	if len(members) == 0 {
+		return false
+	}
+	color := make([]byte, len(members))
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		color[k] = 1
+		row := e.Row(int(members[k]))
+		for k2, m := range members {
+			if !row.Has(int(m)) {
+				continue
+			}
+			if color[k2] == 1 {
+				return true
+			}
+			if color[k2] == 0 && dfs(k2) {
+				return true
+			}
+		}
+		color[k] = 2
+		return false
+	}
+	for k := range members {
+		if color[k] == 0 && dfs(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// materialize converts an indexed front back to the string-keyed Front of
+// the public API, matching the reference path's node registration.
+func (si *sysIndex) materialize(f *iFront) *Front {
+	out := &Front{
+		Level:    f.level,
+		nodes:    make(map[model.NodeID]struct{}, f.count),
+		Obs:      order.New[model.NodeID](),
+		Con:      model.NewPairSet(),
+		WeakIn:   order.New[model.NodeID](),
+		StrongIn: order.New[model.NodeID](),
+	}
+	f.nodes.Each(func(i int) {
+		id := si.in.ID(int32(i))
+		out.nodes[id] = struct{}{}
+		out.Obs.AddNode(id)
+	})
+	f.obs.Each(func(i, j int) { out.Obs.Add(si.in.ID(int32(i)), si.in.ID(int32(j))) })
+	f.con.Each(func(i, j int) {
+		if i < j {
+			out.Con.Add(si.in.ID(int32(i)), si.in.ID(int32(j)))
+		}
+	})
+	f.weakIn.Each(func(i, j int) { out.WeakIn.Add(si.in.ID(int32(i)), si.in.ID(int32(j))) })
+	f.strongIn.Each(func(i, j int) { out.StrongIn.Add(si.in.ID(int32(i)), si.in.ID(int32(j))) })
+	return out
+}
+
+// reduced returns the NodeIDs of newTx for the step report.
+func (si *sysIndex) reducedIDs(newTx []int32) []model.NodeID {
+	if len(newTx) == 0 {
+		return nil
+	}
+	out := make([]model.NodeID, len(newTx))
+	for k, t := range newTx {
+		out[k] = si.in.ID(t)
+	}
+	return out
+}
+
+// nodeIDs maps a cycle of indices to NodeIDs (nil stays nil).
+func (si *sysIndex) nodeIDs(cycle []int32) []model.NodeID {
+	if cycle == nil {
+		return nil
+	}
+	out := make([]model.NodeID, len(cycle))
+	for k, i := range cycle {
+		out[k] = si.in.ID(i)
+	}
+	return out
+}
+
+// findCycleIdx is Relation.FindCycle on an IndexRelation restricted to the
+// nodes of mask. It mirrors the reference implementation exactly — white/
+// grey/black DFS, roots and successors visited in ascending index (=
+// lexicographic NodeID) order, identical back-edge cycle reconstruction —
+// so the witness cycles in failure diagnostics match the string-keyed path
+// byte for byte. Returns nil when acyclic over mask.
+func findCycleIdx(rel *order.IndexRelation, mask order.Bitset) []int32 {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	words := len(mask)
+	n := words * 64
+	color := make([]byte, n)
+	parent := make([]int32, n)
+
+	var cycle []int32
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		row := rel.Row(u)
+		for w := 0; w < len(row); w++ {
+			word := row[w] & mask[w]
+			for word != 0 {
+				m := w*64 + trailingZeros(word)
+				word &= word - 1
+				switch color[m] {
+				case white:
+					parent[m] = int32(u)
+					if dfs(m) {
+						return true
+					}
+				case grey:
+					// Back edge u -> m: reconstruct the path m ... u.
+					cycle = []int32{int32(m)}
+					for x := int32(u); x != int32(m); x = parent[x] {
+						cycle = append(cycle, x)
+					}
+					for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+
+	found := false
+	mask.Each(func(u int) {
+		if !found && color[u] == white && dfs(u) {
+			found = true
+		}
+	})
+	if !found {
+		return nil
+	}
+	return cycle
+}
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }

@@ -142,8 +142,95 @@ type Options struct {
 // the system itself is malformed (recursive configuration); a well-formed
 // but incorrect execution yields Correct == false.
 //
-// Check works on a normalized clone and does not mutate sys.
+// Check runs the reduction on the interned-index engine (indexed.go): it
+// neither clones nor normalizes sys — schedule orders are closed on the
+// index side while building the per-check sysIndex. The only mutation of
+// sys is the cached node interner (model.System.Intern); for concurrent
+// checks of one shared System use CheckBatch, or call sys.Intern (or
+// Normalize) once beforehand. Verdicts are identical to the string-keyed
+// reference reduction, which CheckReference retains and the property
+// tests in indexed_test.go compare against; failure diagnostics use the
+// same lexicographic cycle search, so traces match byte for byte.
 func Check(sys *model.System, opts Options) (*Verdict, error) {
+	if err := sys.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	levels, err := sys.Levels()
+	if err != nil {
+		return nil, err
+	}
+	si := buildSysIndex(sys, levels)
+	n := si.order
+
+	v := &Verdict{Order: n, FailedLevel: -1}
+	f := si.level0()
+	v.Steps = append(v.Steps, &StepReport{Level: 0})
+	if opts.KeepFronts {
+		v.Fronts = append(v.Fronts, si.materialize(f))
+	}
+	if c := si.ccCycle(f); c != nil {
+		v.FailedLevel = 0
+		v.Reason = fmt.Sprintf("level 0 front not conflict consistent: cycle %v", si.nodeIDs(c))
+		return v, nil
+	}
+
+	for f.level < n {
+		nf, rep := si.step(f)
+		v.Steps = append(v.Steps, rep)
+		if nf == nil {
+			v.FailedLevel = rep.Level
+			switch rep.Failure {
+			case FailCalculation:
+				v.Reason = fmt.Sprintf("no calculation for transaction %s: cycle %v", rep.BadTransaction, rep.Cycle)
+			case FailIsolation:
+				v.Reason = fmt.Sprintf("transactions cannot be isolated: cycle %v", rep.Cycle)
+			case FailCC:
+				v.Reason = fmt.Sprintf("level %d front not conflict consistent: cycle %v", rep.Level, rep.Cycle)
+			}
+			return v, nil
+		}
+		f = nf
+		if opts.KeepFronts {
+			v.Fronts = append(v.Fronts, si.materialize(f))
+		}
+	}
+
+	var final *Front
+	if opts.KeepFronts {
+		final = v.Fronts[len(v.Fronts)-1]
+	} else {
+		final = si.materialize(f)
+		v.Fronts = []*Front{final}
+	}
+
+	// The level-N front must consist of exactly the root transactions.
+	roots := sys.Roots()
+	if final.Len() != len(roots) {
+		return nil, fmt.Errorf("front: level %d front has %d nodes, want %d roots", n, final.Len(), len(roots))
+	}
+	for _, r := range roots {
+		if !final.Has(r) {
+			return nil, fmt.Errorf("front: root %s missing from level %d front", r, n)
+		}
+	}
+
+	serial, ok := final.SerialWitness()
+	if !ok {
+		// Cannot happen: the final front passed the CC check.
+		return nil, fmt.Errorf("front: CC level-%d front has no topological order", n)
+	}
+	v.Correct = true
+	v.SerialOrder = serial
+	return v, nil
+}
+
+// CheckReference is the string-keyed reduction Check ran before the
+// interned-index engine existed, kept verbatim as the reference oracle:
+// the property tests in indexed_test.go assert Check ≡ CheckReference on
+// random workloads, and the sim benchmarks time it so BENCH_checker.json
+// carries the engine speedup. It works on a normalized clone and does not
+// mutate sys. Use Check; this exists for testing and benchmarking only.
+func CheckReference(sys *model.System, opts Options) (*Verdict, error) {
 	if err := sys.ValidateStructure(); err != nil {
 		return nil, err
 	}

@@ -18,6 +18,10 @@ type System struct {
 	schedules map[ScheduleID]*Schedule
 	nodes     map[NodeID]*Node
 	children  map[NodeID][]NodeID // insertion order; sorted on demand
+
+	// interner caches the NodeID ↔ int32 index of Intern; nil until built,
+	// reset by any node-set mutation.
+	interner *Interner
 }
 
 // NewSystem returns an empty composite system.
@@ -74,6 +78,7 @@ func (s *System) addNode(id NodeID, parent NodeID, sched ScheduleID) *Node {
 	}
 	n := &Node{ID: id, Parent: parent, Sched: sched}
 	s.nodes[id] = n
+	s.interner = nil
 	if parent != "" {
 		s.children[parent] = append(s.children[parent], id)
 	}
@@ -286,8 +291,11 @@ func (s *System) Order() (int, error) {
 // orders are "in all cases, transitively closed" (Definition 1), but
 // builders and recorders typically supply generating pairs only. Validate
 // and the reduction both call Normalize-like closures internally; calling
-// it explicitly makes the stored system canonical.
+// it explicitly makes the stored system canonical. Normalize also builds
+// (and caches) the node interner, so a normalized system is ready for the
+// interned-index checker without further allocation.
 func (s *System) Normalize() {
+	s.Intern()
 	for _, sc := range s.schedules {
 		sc.WeakIn = sc.WeakIn.TransitiveClosure()
 		sc.StrongIn = sc.StrongIn.TransitiveClosure()
@@ -344,6 +352,7 @@ func (s *System) RemoveTree(root NodeID) {
 		delete(s.nodes, id)
 		delete(s.children, id)
 	}
+	s.interner = nil
 	for _, sc := range s.schedules {
 		for id := range set {
 			sc.Conflicts.RemoveInvolving(id)

@@ -1,7 +1,5 @@
 package order
 
-import "math/bits"
-
 // Transitive closure via SCC condensation and bitset reachability.
 //
 // The closure is the hot path of the reduction (the observed order is
@@ -12,30 +10,6 @@ import "math/bits"
 // words, and members of a cyclic component reach everything the component
 // reaches, including itself. Complexity O(V·E/64) for the propagation
 // plus the unavoidable O(|closure|) output inserts.
-
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
-func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
-
-func (b bitset) or(other bitset) {
-	for i := range b {
-		b[i] |= other[i]
-	}
-}
-
-// each calls fn for every set bit.
-func (b bitset) each(fn func(i int)) {
-	for w, word := range b {
-		for word != 0 {
-			i := w*64 + bits.TrailingZeros64(word)
-			fn(i)
-			word &= word - 1
-		}
-	}
-}
 
 // TransitiveClosure returns a fresh relation containing the transitive
 // closure of r. The paper requires all order relations to be "in all
@@ -67,7 +41,7 @@ func (r *Relation[T]) TransitiveClosure() *Relation[T] {
 	// the component's own members unless it is cyclic; members are added
 	// when expanding per-node below).
 	nComp := len(order)
-	reach := make([]bitset, nComp)
+	reach := make([]Bitset, nComp)
 	members := make([][]int32, nComp)
 	cyclic := make([]bool, nComp)
 	for i := 0; i < n; i++ {
@@ -89,20 +63,20 @@ func (r *Relation[T]) TransitiveClosure() *Relation[T] {
 	// order is reverse-topological (Tarjan emits components after all
 	// their successors), so one pass suffices.
 	for _, c := range order {
-		rs := newBitset(n)
+		rs := NewBitset(n)
 		for _, i := range members[c] {
 			for _, j := range succ[i] {
 				cj := comp[j]
 				if cj == c {
 					continue
 				}
-				rs.set(int(j))
-				rs.or(reach[cj])
+				rs.Set(int(j))
+				rs.Or(reach[cj])
 			}
 		}
 		if cyclic[c] {
 			for _, i := range members[c] {
-				rs.set(int(i))
+				rs.Set(int(i))
 			}
 		}
 		reach[c] = rs
@@ -110,7 +84,7 @@ func (r *Relation[T]) TransitiveClosure() *Relation[T] {
 
 	for i := 0; i < n; i++ {
 		a := nodes[i]
-		reach[comp[i]].each(func(j int) {
+		reach[comp[i]].Each(func(j int) {
 			out.Add(a, nodes[j])
 		})
 	}

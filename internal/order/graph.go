@@ -1,6 +1,6 @@
 package order
 
-import "sort"
+import "slices"
 
 // Reachable reports whether b is reachable from a via one or more pairs.
 func (r *Relation[T]) Reachable(a, b T) bool {
@@ -233,6 +233,6 @@ func (r *Relation[T]) SCCs() [][]T {
 			}
 		}
 	}
-	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	slices.SortFunc(comps, func(a, b []T) int { return cmpString(a[0], b[0]) })
 	return comps
 }

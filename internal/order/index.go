@@ -1,0 +1,380 @@
+package order
+
+import "math/bits"
+
+// This file is the interned-index relation core: dense bitset-backed
+// relations over integer node indices. internal/front runs the whole
+// reduction of Definition 16 on these after interning every NodeID to an
+// int32 (see model.Interner); the string-keyed Relation remains the
+// construction and API surface and is converted at the Check boundary.
+//
+// Indices are expected to be assigned in lexicographic NodeID order, so
+// ascending index iteration reproduces the deterministic lexicographic
+// iteration order of Relation.
+
+// Bitset is a fixed-capacity dense bit vector. It is the row type of
+// IndexRelation, exported so the reduction hot path can compose rows with
+// word-parallel boolean operations instead of per-element map lookups.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold indices [0, n).
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set. A nil bitset has no bits.
+func (b Bitset) Has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Or sets b |= o. A nil o is a no-op.
+func (b Bitset) Or(o Bitset) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}
+
+// And sets b &= o; a nil o clears b.
+func (b Bitset) And(o Bitset) {
+	for i := range b {
+		if i < len(o) {
+			b[i] &= o[i]
+		} else {
+			b[i] = 0
+		}
+	}
+}
+
+// AndNot sets b &^= o.
+func (b Bitset) AndNot(o Bitset) {
+	for i := range o {
+		if i < len(b) {
+			b[i] &^= o[i]
+		}
+	}
+}
+
+// OrAnd sets b |= x & y. Either operand may be nil (treated as empty).
+func (b Bitset) OrAnd(x, y Bitset) {
+	if x == nil || y == nil {
+		return
+	}
+	for i := range b {
+		b[i] |= x[i] & y[i]
+	}
+}
+
+// OrAndNot sets b |= x &^ y. A nil x is a no-op; a nil y is empty.
+func (b Bitset) OrAndNot(x, y Bitset) {
+	if x == nil {
+		return
+	}
+	if y == nil {
+		b.Or(x)
+		return
+	}
+	for i := range b {
+		b[i] |= x[i] &^ y[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Each calls fn for every set bit in ascending index order.
+func (b Bitset) Each(fn func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// Clone returns a copy; a nil receiver clones to nil.
+func (b Bitset) Clone() Bitset {
+	if b == nil {
+		return nil
+	}
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// IndexRelation is a mutable binary relation over the integer indices
+// [0, n): bit j of row i is set iff the pair (i, j) is present. Rows are
+// allocated lazily, so a relation over a large index space whose pairs
+// touch few sources stays small.
+type IndexRelation struct {
+	n     int
+	words int
+	rows  []Bitset
+}
+
+// NewIndexRelation returns an empty relation over [0, n).
+func NewIndexRelation(n int) *IndexRelation {
+	return &IndexRelation{n: n, words: (n + 63) / 64, rows: make([]Bitset, n)}
+}
+
+// N returns the size of the index space.
+func (r *IndexRelation) N() int { return r.n }
+
+// Add inserts the pair (i, j).
+func (r *IndexRelation) Add(i, j int) { r.MutRow(i).Set(j) }
+
+// AddSym inserts both (i, j) and (j, i).
+func (r *IndexRelation) AddSym(i, j int) {
+	r.Add(i, j)
+	r.Add(j, i)
+}
+
+// Has reports whether the pair (i, j) is present.
+func (r *IndexRelation) Has(i, j int) bool { return r.rows[i].Has(j) }
+
+// Row returns the successor bitset of i, or nil when empty. Callers must
+// not mutate it; use MutRow for that.
+func (r *IndexRelation) Row(i int) Bitset { return r.rows[i] }
+
+// MutRow returns the successor bitset of i, allocating it if needed. The
+// caller may mutate it in place.
+func (r *IndexRelation) MutRow(i int) Bitset {
+	if r.rows[i] == nil {
+		r.rows[i] = make(Bitset, r.words)
+	}
+	return r.rows[i]
+}
+
+// Len returns the number of pairs.
+func (r *IndexRelation) Len() int {
+	n := 0
+	for _, row := range r.rows {
+		n += row.Count()
+	}
+	return n
+}
+
+// Each calls fn for every pair in ascending (i, j) order.
+func (r *IndexRelation) Each(fn func(i, j int)) {
+	for i, row := range r.rows {
+		row.Each(func(j int) { fn(i, j) })
+	}
+}
+
+// Or adds every pair of other into r.
+func (r *IndexRelation) Or(other *IndexRelation) {
+	for i, row := range other.rows {
+		if row != nil && row.Any() {
+			r.MutRow(i).Or(row)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (r *IndexRelation) Clone() *IndexRelation {
+	c := NewIndexRelation(r.n)
+	for i, row := range r.rows {
+		if row != nil {
+			c.rows[i] = row.Clone()
+		}
+	}
+	return c
+}
+
+// succLists converts the rows to adjacency lists for the SCC machinery.
+func (r *IndexRelation) succLists() [][]int32 {
+	succ := make([][]int32, r.n)
+	for i, row := range r.rows {
+		if row == nil {
+			continue
+		}
+		s := make([]int32, 0, row.Count())
+		row.Each(func(j int) { s = append(s, int32(j)) })
+		succ[i] = s
+	}
+	return succ
+}
+
+// TransitiveClosure returns a fresh transitively closed copy, via the same
+// SCC-condensation algorithm Relation.TransitiveClosure uses, but staying
+// entirely on dense rows (no map inserts on the output side).
+func (r *IndexRelation) TransitiveClosure() *IndexRelation {
+	n := r.n
+	out := NewIndexRelation(n)
+	if n == 0 {
+		return out
+	}
+	succ := r.succLists()
+	comp, order := sccCondensation(n, succ)
+
+	nComp := len(order)
+	reach := make([]Bitset, nComp)
+	members := make([][]int32, nComp)
+	cyclic := make([]bool, nComp)
+	for i := 0; i < n; i++ {
+		members[comp[i]] = append(members[comp[i]], int32(i))
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range succ[i] {
+			if int(j) == i {
+				cyclic[comp[i]] = true
+			}
+		}
+	}
+	for c := range members {
+		if len(members[c]) > 1 {
+			cyclic[c] = true
+		}
+	}
+	for _, c := range order {
+		rs := NewBitset(n)
+		for _, i := range members[c] {
+			for _, j := range succ[i] {
+				cj := comp[j]
+				if cj == c {
+					continue
+				}
+				rs.Set(int(j))
+				rs.Or(reach[cj])
+			}
+		}
+		if cyclic[c] {
+			for _, i := range members[c] {
+				rs.Set(int(i))
+			}
+		}
+		reach[c] = rs
+	}
+	for i := 0; i < n; i++ {
+		if reach[comp[i]].Any() {
+			out.rows[i] = reach[comp[i]].Clone()
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the relation, viewed as a directed graph,
+// contains a cycle (including self-pairs), via SCC condensation: a cycle
+// exists iff some component has more than one member or a self-loop.
+func (r *IndexRelation) HasCycle() bool {
+	succ := r.succLists()
+	for i, s := range succ {
+		for _, j := range s {
+			if int(j) == i {
+				return true
+			}
+		}
+	}
+	comp, order := sccCondensation(r.n, succ)
+	size := make([]int, len(order))
+	for i := 0; i < r.n; i++ {
+		size[comp[i]]++
+		if size[comp[i]] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ClosedRelation maintains a transitively closed IndexRelation under
+// incremental pair insertion (Italiano-style): alongside the successor
+// rows it keeps the transposed predecessor rows, so inserting (a, b) into
+// a closed relation only propagates from the nodes that reach a to the
+// nodes reached from b — the "incremental closure update" that replaces
+// the per-level full TransitiveClosure() of the reduction.
+//
+// Invariant: after every Insert, succ is its own transitive closure and
+// pred is its exact transpose. Cyclic inputs are legal; members of a cycle
+// end up reaching themselves (self-pairs), exactly as TransitiveClosure
+// reports them.
+type ClosedRelation struct {
+	succ *IndexRelation
+	pred *IndexRelation
+}
+
+// NewClosedRelation returns an empty closed relation over [0, n).
+func NewClosedRelation(n int) *ClosedRelation {
+	return &ClosedRelation{succ: NewIndexRelation(n), pred: NewIndexRelation(n)}
+}
+
+// CloseRelation fully closes r and returns it as a ClosedRelation ready
+// for incremental updates.
+func CloseRelation(r *IndexRelation) *ClosedRelation {
+	succ := r.TransitiveClosure()
+	pred := NewIndexRelation(r.n)
+	succ.Each(func(i, j int) { pred.Add(j, i) })
+	return &ClosedRelation{succ: succ, pred: pred}
+}
+
+// Insert adds the pair (a, b) and restores transitive closure. For a pair
+// already implied it is O(1); otherwise it ORs the reach set of b into
+// every node that reaches a (and maintains the transpose), O((|pred*(a)| +
+// |succ*(b)|) · n/64) in the worst case and much less in practice.
+func (c *ClosedRelation) Insert(a, b int) {
+	if c.succ.Has(a, b) {
+		return
+	}
+	// Snapshot before mutation: the loops below modify the very rows the
+	// source/target sets are derived from.
+	targets := c.succ.Row(b).Clone()
+	if targets == nil {
+		targets = NewBitset(c.succ.n)
+	}
+	targets.Set(b)
+	sources := c.pred.Row(a).Clone()
+	if sources == nil {
+		sources = NewBitset(c.succ.n)
+	}
+	sources.Set(a)
+	sources.Each(func(x int) { c.succ.MutRow(x).Or(targets) })
+	targets.Each(func(y int) { c.pred.MutRow(y).Or(sources) })
+}
+
+// Has reports whether (a, b) is in the closure.
+func (c *ClosedRelation) Has(a, b int) bool { return c.succ.Has(a, b) }
+
+// Row returns the (closed) successor set of a. Callers must not mutate it.
+func (c *ClosedRelation) Row(a int) Bitset { return c.succ.Row(a) }
+
+// PredRow returns the (closed) predecessor set of a. Callers must not
+// mutate it.
+func (c *ClosedRelation) PredRow(a int) Bitset { return c.pred.Row(a) }
+
+// Rel returns the underlying closed successor relation. Callers must not
+// mutate it; Clone first.
+func (c *ClosedRelation) Rel() *IndexRelation { return c.succ }
+
+// Len returns the number of pairs in the closure.
+func (c *ClosedRelation) Len() int { return c.succ.Len() }
+
+// Each calls fn for every pair of the closure in ascending order.
+func (c *ClosedRelation) Each(fn func(i, j int)) { c.succ.Each(fn) }
+
+// ToRelation materializes an index relation as a string-keyed Relation,
+// mapping index i to ids[i]. Only pair endpoints are registered as nodes;
+// register extra nodes on the result as needed.
+func ToRelation[T ~string](r *IndexRelation, ids []T) *Relation[T] {
+	out := New[T]()
+	r.Each(func(i, j int) { out.Add(ids[i], ids[j]) })
+	return out
+}

@@ -14,7 +14,7 @@
 // deterministic across runs.
 package order
 
-import "sort"
+import "slices"
 
 // Relation is a mutable binary relation (a directed graph) over string-kinded
 // identifiers. The zero value is not usable; construct with New.
@@ -142,11 +142,11 @@ func (r *Relation[T]) Pairs() [][2]T {
 			out = append(out, [2]T{a, b})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]T) int {
+		if a[0] != b[0] {
+			return cmpString(a[0], b[0])
 		}
-		return out[i][1] < out[j][1]
+		return cmpString(a[1], b[1])
 	})
 	return out
 }
@@ -241,8 +241,19 @@ func (r *Relation[T]) Map(f func(T) T) *Relation[T] {
 	return out
 }
 
-// Equal reports whether r and other contain exactly the same pairs
-// (node registration is ignored).
+// Equal reports whether r and other contain exactly the same pairs.
+//
+// The implementation compares Len() and then checks r ⊆ other only. That
+// asymmetry is sound, not a shortcut: pairs live in nested maps, so each
+// relation is duplicate-free, and two finite duplicate-free sets of equal
+// cardinality with one contained in the other are equal. TestEqualIsSymmetric
+// exercises the differing-pair-sets-of-equal-size case in both directions.
+//
+// Node registration is deliberately ignored: Equal compares the relations
+// as pair sets (what the paper's definitions quantify over), so relations
+// that differ only in isolated registered nodes — e.g. one side was built
+// with AddNode for every front node, the other only via Add — still
+// compare equal. Use NumNodes/Nodes to compare registration.
 func (r *Relation[T]) Equal(other *Relation[T]) bool {
 	if r.Len() != other.Len() {
 		return false
@@ -268,5 +279,16 @@ func (r *Relation[T]) Contains(other *Relation[T]) bool {
 }
 
 func sortSlice[T ~string](s []T) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
+}
+
+func cmpString[T ~string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+	"compositetx/internal/workload"
+)
+
+// BenchResult is one named checker measurement, the machine-readable
+// counterpart of the `go test -bench` output that cmd/compbench -json
+// persists into BENCH_checker.json so the perf trajectory of the checker
+// is comparable across PRs.
+type BenchResult struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"nsPerOp"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// timeOp measures fn by repetition until minDur elapses, returning ns/op.
+func timeOp(minDur time.Duration, fn func()) float64 {
+	start := time.Now()
+	reps := 0
+	for time.Since(start) < minDur {
+		fn()
+		reps++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// CheckerBenchmarks times the checker engine on the workloads the
+// acceptance gates track: the paper's two worked examples (the E1/E2
+// units), the E7 stack-scaling configurations, and CheckBatch throughput
+// at 1 versus 8 workers. The worker comparison is bounded by the CPUs
+// actually available, recorded in the "cpus" metric: on a single-core
+// machine the pool cannot speed up CPU-bound checks, so read the speedup
+// relative to that ceiling.
+func CheckerBenchmarks() []BenchResult {
+	const minDur = 100 * time.Millisecond
+	var out []BenchResult
+
+	fig3, fig4 := front.Figure3System(), front.Figure4System()
+	out = append(out,
+		BenchResult{Name: "E1Figure3/Check", NsPerOp: timeOp(minDur, func() {
+			if _, err := front.Check(fig3, front.Options{}); err != nil {
+				panic(err)
+			}
+		})},
+		BenchResult{Name: "E2Figure4/Check", NsPerOp: timeOp(minDur, func() {
+			if _, err := front.Check(fig4, front.Options{}); err != nil {
+				panic(err)
+			}
+		})},
+	)
+
+	for _, cfg := range []struct{ levels, roots int }{
+		{3, 8}, {3, 16}, {3, 32}, {4, 4}, {5, 4},
+	} {
+		sys := workload.Stack(workload.StackParams{
+			Levels: cfg.levels, Roots: cfg.roots, Fanout: 2,
+			ConflictRate: 0.05, Seed: 1,
+		}).Sys
+		indexed := timeOp(minDur, func() {
+			if _, err := front.Check(sys, front.Options{}); err != nil {
+				panic(err)
+			}
+		})
+		// The retired string-keyed engine on the same workload: the ratio
+		// is the interned-index speedup this file tracks across PRs.
+		reference := timeOp(minDur, func() {
+			if _, err := front.CheckReference(sys, front.Options{}); err != nil {
+				panic(err)
+			}
+		})
+		out = append(out, BenchResult{
+			Name:    fmt.Sprintf("E7CheckerScaling/levels=%d/roots=%d", cfg.levels, cfg.roots),
+			NsPerOp: indexed,
+			Metrics: map[string]float64{
+				"nodes":            float64(sys.NumNodes()),
+				"referenceNsPerOp": reference,
+				"speedup":          reference / indexed,
+			},
+		})
+	}
+
+	// CheckBatch: a slab of distinct mid-size systems, 1 worker vs 8.
+	systems := make([]*model.System, 64)
+	for i := range systems {
+		systems[i] = workload.Stack(workload.StackParams{
+			Levels: 3, Roots: 8, Fanout: 2,
+			ConflictRate: 0.05, Seed: int64(i + 1),
+		}).Sys
+		systems[i].Intern()
+	}
+	perWorkers := map[int]float64{}
+	for _, workers := range []int{1, 8} {
+		w := workers
+		ns := timeOp(minDur, func() {
+			for _, r := range front.CheckBatch(systems, w, front.Options{}) {
+				if r.Err != nil {
+					panic(r.Err)
+				}
+			}
+		})
+		perWorkers[w] = ns / float64(len(systems)) // per system
+		out = append(out, BenchResult{
+			Name:    fmt.Sprintf("CheckBatch/workers=%d", w),
+			NsPerOp: perWorkers[w],
+			Metrics: map[string]float64{
+				"systems": float64(len(systems)),
+				"cpus":    float64(runtime.NumCPU()),
+			},
+		})
+	}
+	out = append(out, BenchResult{
+		Name:    "CheckBatch/speedup-8v1",
+		NsPerOp: perWorkers[8],
+		Metrics: map[string]float64{
+			"speedup": perWorkers[1] / perWorkers[8],
+			"cpus":    float64(runtime.NumCPU()),
+		},
+	})
+	return out
+}

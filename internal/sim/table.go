@@ -11,13 +11,14 @@ import (
 	"unicode/utf8"
 )
 
-// Table is one experiment artifact: a titled grid of rows.
+// Table is one experiment artifact: a titled grid of rows. The JSON shape
+// is what cmd/compbench -json writes into BENCH_checker.json.
 type Table struct {
-	ID     string // experiment id, e.g. "E4"
-	Title  string
-	Note   string // one-paragraph interpretation of the result
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"` // experiment id, e.g. "E4"
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"` // one-paragraph interpretation of the result
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row, stringifying the cells.
