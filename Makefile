@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race bench experiments clean
+.PHONY: all build test verify race chaos bench experiments clean
 
 all: build test
 
@@ -11,23 +11,31 @@ test:
 	$(GO) test ./...
 
 # verify is the CI gate: vet + build + the full test suite under the race
-# detector (covering the sched runtime and the CheckBatch worker pool).
+# detector (covering the sched runtime, the fault-injection chaos soak —
+# see `make chaos` for the soak alone — and the CheckBatch worker pool).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# chaos runs only the race-enabled fault-injection soak on its fixed seed
+# set: the TestChaos protocol x topology x fault-mix sweep, the escrow
+# conservation invariant, and the deterministic per-site trigger cases.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestTrigger|TestSeededFaults|TestCompensation' ./internal/sched
 
 # race runs only the parallel-path packages under the race detector —
 # quicker than verify when iterating on sched or front.
 race:
 	$(GO) test -race ./internal/sched ./internal/front .
 
-# bench regenerates BENCH_checker.json: the E1/E2/E7 tables plus checker
-# microbenchmarks (ns/op and CheckBatch worker scaling). See DESIGN.md §6.1.
+# bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
+# chaos-recovery table, plus checker microbenchmarks (ns/op and
+# CheckBatch worker scaling). See DESIGN.md §6.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10 -json BENCH_checker.json
 
-# experiments regenerates every E1-E9 table on stdout.
+# experiments regenerates every E1-E10 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

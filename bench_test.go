@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment of the reproduction (E1–E9 in
+// Benchmarks regenerating every experiment of the reproduction (E1–E10 in
 // DESIGN.md §6). Each benchmark measures the cost of one experiment unit
 // and, where meaningful, reports domain metrics (tx/s, accept rates) via
 // b.ReportMetric. cmd/compbench prints the corresponding tables.
@@ -278,4 +278,36 @@ func BenchmarkE9Deadlock(b *testing.B) {
 			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/run")
 		})
 	}
+}
+
+// BenchmarkE10Chaos measures one faulted run-record-check round on the
+// bank topology (hybrid protocol, apply + lock-fail + compensation
+// faults), reporting the injected-fault rate alongside ns/op.
+func BenchmarkE10Chaos(b *testing.B) {
+	faults := int64(0)
+	for i := 0; i < b.N; i++ {
+		topo := sched.BankTopology()
+		rt := topo.NewRuntime(sched.Hybrid)
+		rt.SetFaults(sched.FaultPlan{
+			Seed: int64(i + 1), ApplyProb: 0.04,
+			LockFailProb: 0.06, CompensationProb: 0.25,
+		})
+		progs := sched.GenPrograms(topo, sched.WorkloadParams{
+			Roots: 40, StepsPerTx: 3, Items: 3,
+			ReadRatio: 0.25, WriteRatio: 0.3, Seed: int64(i),
+		})
+		if err := sched.Run(rt, progs, 8); err != nil {
+			b.Fatal(err)
+		}
+		faults += rt.Metrics().InjectedFaults
+		sys := rt.RecordedSystem()
+		v, err := front.Check(sys, front.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.Correct {
+			b.Fatalf("chaos run recorded a non-Comp-C execution: %v", v)
+		}
+	}
+	b.ReportMetric(float64(faults)/float64(b.N), "faults/run")
 }

@@ -1,5 +1,5 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E9 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E10 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
@@ -32,7 +32,7 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E9)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E10)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	flag.Parse()
@@ -46,9 +46,10 @@ func main() {
 		"E6": func() *sim.Table { return sim.E6Protocols(sim.DefaultRunConfig()) },
 		"E7": sim.E7CheckerScaling,
 		"E8": func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
-		"E9": func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
+		"E9":  func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
+		"E10": func() *sim.Table { return sim.E10Chaos(sim.DefaultChaosConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {

@@ -11,10 +11,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	ctx "compositetx"
 )
+
+// parseFaults turns "apply=0.02,lock-delay=0.05,down=0.01" into a
+// FaultPlan (site names match FaultSite.String; values are per-visit
+// probabilities).
+func parseFaults(spec string, seed int64) (ctx.FaultPlan, error) {
+	plan := ctx.FaultPlan{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return plan, fmt.Errorf("bad fault spec %q (want site=prob)", kv)
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return plan, fmt.Errorf("bad fault probability %q: %v", v, err)
+		}
+		switch k {
+		case "apply":
+			plan.ApplyProb = p
+		case "lock-delay":
+			plan.LockDelayProb = p
+		case "lock-fail":
+			plan.LockFailProb = p
+		case "compensation":
+			plan.CompensationProb = p
+		case "down":
+			plan.DownProb = p
+		default:
+			return plan, fmt.Errorf("unknown fault site %q (apply|lock-delay|lock-fail|compensation|down)", k)
+		}
+	}
+	return plan, nil
+}
 
 func main() {
 	topoName := flag.String("topology", "bank", "stack2|stack3|stack4|bank|diamond")
@@ -28,6 +66,9 @@ func main() {
 	writeRatio := flag.Float64("writes", 0.2, "write service ratio (rest: increments)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	deadlock := flag.String("deadlock", "wait-die", "deadlock policy: wait-die|detect-wfg")
+	faults := flag.String("faults", "", "fault injection, e.g. apply=0.02,lock-delay=0.05,down=0.01")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	opTimeout := flag.Duration("op-timeout", 0, "per-attempt deadline (0 = none), e.g. 25ms")
 	flag.Parse()
 
 	topos := map[string]*ctx.Topology{
@@ -78,6 +119,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compsim: unknown deadlock policy %q\n", *deadlock)
 		os.Exit(2)
 	}
+	rt.OpTimeout = *opTimeout
+	if *faults != "" {
+		plan, err := parseFaults(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+		rt.SetFaults(plan)
+	}
 	programs := ctx.GenPrograms(topo, ctx.WorkloadParams{
 		Roots: *roots, StepsPerTx: *steps, Items: *items,
 		ReadRatio: *readRatio, WriteRatio: *writeRatio, Seed: *seed,
@@ -93,6 +143,13 @@ func main() {
 	fmt.Printf("wall=%s throughput=%.0f tx/s\n", elapsed.Round(time.Millisecond), float64(m.Commits)/elapsed.Seconds())
 	fmt.Printf("commits=%d aborts=%d leaf-ops=%d invocations=%d lock-waits=%d\n",
 		m.Commits, m.Aborts, m.LeafOps, m.Invokes, m.LockWaits)
+	if *faults != "" || *opTimeout > 0 {
+		fmt.Printf("faults=%d timeouts=%d sub-retries=%d quarantined=%d\n",
+			m.InjectedFaults, m.Timeouts, m.SubRetries, m.CompensationFailures)
+		for _, q := range rt.Quarantined() {
+			fmt.Printf("quarantine: component=%s txn=%s op=%s err=%v\n", q.Component, q.Txn, q.Op, q.Err)
+		}
+	}
 
 	sys := rt.RecordedSystem()
 	if err := sys.Validate(); err != nil {

@@ -165,3 +165,38 @@ func TestIsShared(t *testing.T) {
 		t.Error("incr is exclusive under the rw table")
 	}
 }
+
+func TestStoreApplyHook(t *testing.T) {
+	s := NewStore()
+	s.Set("x", 3)
+	veto := errHook{}
+	s.SetApplyHook(func(op Op) error {
+		if op.Mode == ModeWrite {
+			return veto
+		}
+		return nil
+	})
+	// Vetoed: the store is untouched and does not count the operation.
+	if _, err := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: 9}); err != veto {
+		t.Fatalf("err = %v, want the hook error", err)
+	}
+	if s.Get("x") != 3 || s.Applied() != 0 {
+		t.Fatalf("vetoed apply mutated the store: x=%d applied=%d", s.Get("x"), s.Applied())
+	}
+	// Allowed modes pass through.
+	if r, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 2}); err != nil || r.Value != 5 {
+		t.Fatalf("incr = %+v, %v", r, err)
+	}
+	// Removing the hook restores normal behaviour.
+	s.SetApplyHook(nil)
+	if _, err := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 9 {
+		t.Fatalf("x = %d, want 9", s.Get("x"))
+	}
+}
+
+type errHook struct{}
+
+func (errHook) Error() string { return "hook veto" }

@@ -78,6 +78,10 @@ type Store struct {
 
 	// applied counts operations, for tests and metrics.
 	applied int64
+
+	// hook, when set, runs before every Apply and may veto it with an
+	// error (the fault-injection seam; see SetApplyHook).
+	hook func(Op) error
 }
 
 // NewStore returns an empty store.
@@ -85,10 +89,27 @@ func NewStore() *Store {
 	return &Store{vals: make(map[string]int64)}
 }
 
+// SetApplyHook installs h to run before every Apply; a non-nil error
+// from h fails the Apply without touching the store. This is the
+// fault-injection seam: the scheduler's chaos layer (and tests) use it
+// to make the store behave like a backend that can fail any call.
+// Pass nil to remove the hook. h runs under the store mutex and must
+// not call back into the store.
+func (s *Store) SetApplyHook(h func(Op) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
 // Apply executes the operation atomically and returns its result.
 func (s *Store) Apply(op Op) (Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.hook != nil {
+		if err := s.hook(op); err != nil {
+			return Result{}, err
+		}
+	}
 	prev := s.vals[op.Item]
 	res := Result{Prev: prev}
 	switch op.Physical() {

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+)
+
+// chaosMixes is the fixed seed set `make chaos` sweeps: three fault
+// cocktails exercising every injection site.
+var chaosMixes = []struct {
+	name string
+	plan FaultPlan
+	// opTimeout arms per-attempt deadlines for the mix (0 = none).
+	opTimeout time.Duration
+}{
+	{"apply+lock", FaultPlan{Seed: 11, ApplyProb: 0.05, LockFailProb: 0.03}, 0},
+	{"latency+down", FaultPlan{Seed: 13, LockDelayProb: 0.08, LockDelay: 2 * time.Millisecond,
+		DownProb: 0.01, DownWindow: 2 * time.Millisecond}, 25 * time.Millisecond},
+	{"heavy", FaultPlan{Seed: 17, ApplyProb: 0.06, LockFailProb: 0.03, DownProb: 0.01,
+		DownWindow: time.Millisecond, CompensationProb: 0.25}, 0},
+}
+
+// TestChaos is the chaos soak: protocol × topology × fault mix, each run
+// under randomized jitter and injected faults, asserting that
+//
+//  1. every transaction eventually commits (recovery is complete),
+//  2. every *recorded* execution still passes the Comp-C reduction —
+//     the paper's stance: correctness is a property of the recorded
+//     history, which injected faults must never corrupt,
+//  3. no goroutines leak (deadlines and retries never strand a client).
+//
+// Run under -race by `make chaos` / `make verify`. Skipped with -short.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	topos := []struct {
+		name string
+		mk   func() *Topology
+	}{
+		{"stack3", func() *Topology { return StackTopology(3) }},
+		{"bank", BankTopology},
+		{"diamond", DiamondTopology},
+	}
+	protos := []Protocol{Hybrid, ClosedNested, Global2PL}
+
+	before := runtime.NumGoroutine()
+	var totalInjected int64
+	for _, mix := range chaosMixes {
+		for _, tc := range topos {
+			for _, p := range protos {
+				name := fmt.Sprintf("%s/%s/%s", mix.name, tc.name, p)
+				t.Run(name, func(t *testing.T) {
+					topo := tc.mk()
+					rt := topo.NewRuntime(p)
+					rt.SetFaults(mix.plan)
+					rt.OpTimeout = mix.opTimeout
+					progs := GenPrograms(topo, WorkloadParams{
+						Roots: 40, StepsPerTx: 3, Items: 3,
+						ReadRatio: 0.25, WriteRatio: 0.3, Seed: mix.plan.Seed,
+					})
+					progs = Jitter(progs, 100*time.Microsecond, mix.plan.Seed)
+					if err := Run(rt, progs, 6); err != nil {
+						t.Fatalf("run did not recover: %v", err)
+					}
+					m := rt.Metrics()
+					if m.Commits != 40 {
+						t.Fatalf("commits = %d, want 40", m.Commits)
+					}
+					totalInjected += m.InjectedFaults
+					sys := rt.RecordedSystem()
+					if err := sys.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					if ok, err := front.IsCompC(sys); err != nil || !ok {
+						t.Fatalf("recorded execution under faults must be Comp-C: %v, %v", ok, err)
+					}
+				})
+			}
+		}
+	}
+	if totalInjected < 500 {
+		t.Fatalf("injected %d faults across the sweep, want >= 500 (chaos too tame)", totalInjected)
+	}
+	// Clients, lock waiters and deadline timers must all be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestChaosEscrowConservation: the store-invariant leg of the chaos
+// suite. Transfer transactions (east -n, west +n) run under injected
+// apply and compensation faults with conflicting increments (RW table),
+// so aborted attempts must compensate. Money is conserved exactly:
+// final(east)+final(west) equals the initial balance plus the deltas of
+// the quarantined (permanently uncompensated) operations — every leak
+// is accounted for, none is silent.
+func TestChaosEscrowConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rw := data.RWTable()
+	topo := &Topology{
+		Specs: []ComponentSpec{
+			{Name: "bank", Modes: rw},
+			{Name: "east", HasStore: true, Modes: rw},
+			{Name: "west", HasStore: true, Modes: rw},
+		},
+		Children: map[string][]string{"bank": {"east", "west"}},
+		Entries:  []string{"bank"},
+	}
+	for _, p := range []Protocol{Hybrid, ClosedNested, Global2PL} {
+		t.Run(p.String(), func(t *testing.T) {
+			rt := topo.NewRuntime(p)
+			rt.SetFaults(FaultPlan{Seed: 23, ApplyProb: 0.05, CompensationProb: 0.4})
+			const initial = 10000
+			rt.Store("east").Set("acct", initial)
+
+			leg := func(comp string, amt int64) Step {
+				return Step{Invoke: &Invocation{Component: comp, Item: "acct", Mode: data.ModeIncr,
+					Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "acct", Arg: amt}}}}}
+			}
+			progs := make([]Invocation, 60)
+			for i := range progs {
+				amt := int64(i%7 + 1)
+				progs[i] = Invocation{Component: "bank", Steps: []Step{leg("east", -amt), leg("west", amt)}}
+			}
+			if err := Run(rt, Jitter(progs, 80*time.Microsecond, 23), 6); err != nil {
+				t.Fatal(err)
+			}
+			var leaked int64
+			for _, q := range rt.Quarantined() {
+				leaked += q.Op.Arg
+			}
+			got := rt.Store("east").Get("acct") + rt.Store("west").Get("acct")
+			if got != initial+leaked {
+				t.Fatalf("balance = %d, want %d (initial %d + leaked %d): conservation violated",
+					got, initial+leaked, initial, leaked)
+			}
+			sys := rt.RecordedSystem()
+			if err := sys.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := front.IsCompC(sys); err != nil || !ok {
+				t.Fatalf("recorded execution must be Comp-C: %v, %v", ok, err)
+			}
+		})
+	}
+}

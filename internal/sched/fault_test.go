@@ -1,0 +1,320 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+)
+
+// transfer7 is the deterministic single-client program the trigger tests
+// inject into: T -> C1 -> C2, one increment of x by 7 at the bottom.
+func transfer7() Invocation {
+	return Invocation{Component: "C1", Steps: []Step{
+		{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeIncr,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "x", Arg: 7}}}}},
+	}}
+}
+
+func checkCompC(t *testing.T, rt *Runtime) {
+	t.Helper()
+	sys := rt.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := front.IsCompC(sys); err != nil || !ok {
+		t.Fatalf("recorded execution must be Comp-C: %v, %v", ok, err)
+	}
+}
+
+// TestTriggerApplyFault: an exact (txn, step) apply fault is recovered by
+// a local subtransaction retry — the root itself never aborts — and the
+// recorded execution stays Comp-C. Deterministic by construction.
+func TestTriggerApplyFault(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(OpenNested)
+	rt.SetFaults(FaultPlan{Triggers: []Trigger{
+		{Site: FaultApply, Txn: "T1", Step: "T1/1/1"},
+	}})
+	res, err := rt.Submit("T1", transfer7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("root retries = %d, want 0 (fault recovered locally)", res.Retries)
+	}
+	m := rt.Metrics()
+	if m.InjectedFaults != 1 || m.SubRetries != 1 || m.Commits != 1 {
+		t.Fatalf("metrics = %+v, want 1 injected fault, 1 sub-retry, 1 commit", m)
+	}
+	if got := rt.Store("C2").Get("x"); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	checkCompC(t, rt)
+}
+
+// TestTriggerLockFail: an injected lock-acquisition failure at the leaf
+// recovers the same way.
+func TestTriggerLockFail(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(Hybrid)
+	rt.SetFaults(FaultPlan{Triggers: []Trigger{
+		{Site: FaultLockFail, Txn: "T1", Step: "T1/1/1"},
+	}})
+	if _, err := rt.Submit("T1", transfer7()); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m.InjectedFaults != 1 || m.SubRetries != 1 {
+		t.Fatalf("metrics = %+v, want 1 injected fault recovered by 1 sub-retry", m)
+	}
+	if got := rt.Store("C2").Get("x"); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	checkCompC(t, rt)
+}
+
+// TestTriggerLockDelayTimesOut: a delayed lock acquisition blows the
+// OpTimeout deadline; the attempt aborts with ErrTimeout (instead of
+// hanging the client) and the retry — with a fresh deadline window and
+// the trigger spent — commits.
+func TestTriggerLockDelayTimesOut(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(OpenNested)
+	rt.OpTimeout = 5 * time.Millisecond
+	rt.SetFaults(FaultPlan{
+		LockDelay: 50 * time.Millisecond,
+		Triggers:  []Trigger{{Site: FaultLockDelay, Txn: "T1", Step: "T1/1/1"}},
+	})
+	res, err := rt.Submit("T1", transfer7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 1 {
+		t.Fatalf("root retries = %d, want 1 (timeout aborts the attempt)", res.Retries)
+	}
+	m := rt.Metrics()
+	if m.Timeouts != 1 || m.InjectedFaults != 1 || m.Commits != 1 {
+		t.Fatalf("metrics = %+v, want 1 timeout from 1 injected delay", m)
+	}
+	checkCompC(t, rt)
+}
+
+// TestTriggerCompensationQuarantine: when every compensation attempt of a
+// rolled-back operation fails, the operation is quarantined — counted,
+// reported, never a panic — and its forward effect remains in the store
+// for out-of-band repair.
+func TestTriggerCompensationQuarantine(t *testing.T) {
+	errBoom := errors.New("boom")
+	rt := StackTopology(2).NewRuntime(OpenNested)
+	rt.SetFaults(FaultPlan{Triggers: []Trigger{
+		{Site: FaultCompensation, Txn: "T1", Times: compensationRetries + 1},
+	}})
+	prog := transfer7()
+	prog.Steps = append(prog.Steps, Step{Fail: errBoom})
+	_, err := rt.Submit("T1", prog)
+	if !errors.Is(err, ErrClientAbort) || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want client abort", err)
+	}
+	m := rt.Metrics()
+	if m.CompensationFailures != 1 {
+		t.Fatalf("CompensationFailures = %d, want 1", m.CompensationFailures)
+	}
+	q := rt.Quarantined()
+	if len(q) != 1 || q[0].Component != "C2" || q[0].Txn != "T1" || q[0].Op.Arg != 7 {
+		t.Fatalf("quarantine = %+v", q)
+	}
+	if !errors.Is(q[0].Err, ErrInjected) {
+		t.Fatalf("quarantine error = %v, want injected", q[0].Err)
+	}
+	// The forward effect leaked (that is what quarantine means).
+	if got := rt.Store("C2").Get("x"); got != 7 {
+		t.Fatalf("x = %d, want leaked 7", got)
+	}
+	// The aborted transaction still leaves no trace in the record.
+	if rt.RecordedSystem().Node("T1") != nil {
+		t.Fatal("aborted transaction leaked into the record")
+	}
+}
+
+// TestTriggerComponentDown: a component outage rejects the subtransaction;
+// local retries with backoff outlast the window and commit without
+// aborting the root transaction.
+func TestTriggerComponentDown(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(Hybrid)
+	rt.SetFaults(FaultPlan{
+		DownWindow: 100 * time.Microsecond,
+		Triggers:   []Trigger{{Site: FaultDown, Component: "C2", Txn: "T1"}},
+	})
+	res, err := rt.Submit("T1", transfer7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("root retries = %d, want 0 (outage recovered locally)", res.Retries)
+	}
+	m := rt.Metrics()
+	if m.InjectedFaults != 1 || m.SubRetries < 1 {
+		t.Fatalf("metrics = %+v, want 1 down fault and >=1 sub-retry", m)
+	}
+	if got := rt.Store("C2").Get("x"); got != 7 {
+		t.Fatalf("x = %d, want 7", got)
+	}
+	checkCompC(t, rt)
+}
+
+// TestSeededFaultsDeterministic: the same plan, seed, and single-client
+// program sequence produce bit-identical fault decisions — metrics,
+// store state, and quarantine all match across two fresh runs.
+func TestSeededFaultsDeterministic(t *testing.T) {
+	run := func() (Metrics, int64, int) {
+		rt := StackTopology(3).NewRuntime(OpenNested)
+		rt.SetFaults(FaultPlan{Seed: 42, ApplyProb: 0.2, LockFailProb: 0.1, CompensationProb: 0.3})
+		progs := GenPrograms(StackTopology(3), WorkloadParams{
+			Roots: 30, StepsPerTx: 3, Items: 2,
+			ReadRatio: 0.2, WriteRatio: 0.3, Seed: 9,
+		})
+		if err := Run(rt, progs, 1); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Metrics(), rt.Store("C3").Get("x1"), len(rt.Quarantined())
+	}
+	m1, v1, q1 := run()
+	m2, v2, q2 := run()
+	if m1 != m2 || v1 != v2 || q1 != q2 {
+		t.Fatalf("seeded runs diverged:\n  %+v x1=%d quarantined=%d\n  %+v x1=%d quarantined=%d",
+			m1, v1, q1, m2, v2, q2)
+	}
+	if m1.InjectedFaults == 0 {
+		t.Fatal("plan injected nothing; determinism test is vacuous")
+	}
+}
+
+// TestCompensationQuarantineWithoutInjection: satellite regression for
+// the old `panic("compensation failed")` — a store whose backend fails
+// the compensating call (user Apply hook, no fault injection at all)
+// must take the quarantine path, not crash the runtime.
+func TestCompensationQuarantineWithoutInjection(t *testing.T) {
+	errBackend := errors.New("backend down")
+	rt := StackTopology(2).NewRuntime(OpenNested)
+	rt.Store("C2").SetApplyHook(func(op data.Op) error {
+		if op.Arg == -7 { // fails exactly the compensating inverse of +7
+			return errBackend
+		}
+		return nil
+	})
+	prog := transfer7()
+	prog.Steps = append(prog.Steps, Step{Fail: errors.New("abort")})
+	_, err := rt.Submit("T1", prog)
+	if !errors.Is(err, ErrClientAbort) {
+		t.Fatalf("err = %v, want client abort", err)
+	}
+	m := rt.Metrics()
+	if m.CompensationFailures != 1 || m.InjectedFaults != 0 {
+		t.Fatalf("metrics = %+v, want 1 compensation failure and 0 injected", m)
+	}
+	q := rt.Quarantined()
+	if len(q) != 1 || !errors.Is(q[0].Err, errBackend) {
+		t.Fatalf("quarantine = %+v, want the backend error", q)
+	}
+}
+
+// TestSubmitNoBackoffAfterBudget: satellite regression — with
+// MaxRetries=0 an exhausted transaction returns ErrTooManyRetries
+// directly from the failing attempt, without sleeping a backoff first.
+func TestSubmitNoBackoffAfterBudget(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(ClosedNested)
+	rt.MaxRetries = 0
+	hold := make(chan struct{})
+	oldDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		_, err := rt.Submit("Told", Invocation{Component: "C1", Steps: []Step{
+			{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeWrite,
+				Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "x", Arg: 1}}}}},
+			{Sync: func() { close(started); <-hold },
+				Invoke: &Invocation{Component: "C2", Item: "y", Mode: data.ModeWrite,
+					Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "y", Arg: 1}}}}},
+		}})
+		oldDone <- err
+	}()
+	<-started
+	// The younger transaction conflicts on x, dies under wait-die, and
+	// has no retry budget: it must return at once.
+	begin := time.Now()
+	_, err := rt.Submit("Tyoung", Invocation{Component: "C1", Steps: []Step{
+		{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "x", Arg: 2}}}}},
+	}})
+	elapsed := time.Since(begin)
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("budget-exhausted Submit took %v; it must not sleep", elapsed)
+	}
+	if m := rt.Metrics(); m.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want exactly 1 (single sacrificed attempt)", m.Aborts)
+	}
+	close(hold)
+	if err := <-oldDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsExactCounters: satellite — every counter is exact on a
+// deterministic single-client sequence covering commits, client aborts,
+// injected faults, and timeouts.
+func TestMetricsExactCounters(t *testing.T) {
+	rt := StackTopology(2).NewRuntime(OpenNested)
+	rt.SetFaults(FaultPlan{Triggers: []Trigger{
+		{Site: FaultApply, Txn: "T2", Step: "T2/1/1"},
+	}})
+
+	// T1: one invocation, two leaf ops, committed.
+	if _, err := rt.Submit("T1", Invocation{Component: "C1", Steps: []Step{
+		{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeIncr, Steps: []Step{
+			{Op: &data.Op{Mode: data.ModeIncr, Item: "x", Arg: 3}},
+			{Op: &data.Op{Mode: data.ModeRead, Item: "x"}},
+		}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// T2: its leaf op faults once (1 injected, 1 sub-retry, then the
+	// re-run's leaf op applies), committed.
+	if _, err := rt.Submit("T2", transfer7()); err != nil {
+		t.Fatal(err)
+	}
+	// T3: applies one leaf op, then a client abort (compensated).
+	if _, err := rt.Submit("T3", Invocation{Component: "C1", Steps: []Step{
+		{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeIncr,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "x", Arg: 1}}}}},
+		{Fail: errors.New("no")},
+	}}); !errors.Is(err, ErrClientAbort) {
+		t.Fatalf("T3 err = %v", err)
+	}
+	// T4: a deadline already in the past times out before any work.
+	if _, err := rt.Submit("T4", Invocation{Component: "C1",
+		Deadline: time.Now().Add(-time.Millisecond),
+		Steps: []Step{
+			{Invoke: &Invocation{Component: "C2", Item: "x", Mode: data.ModeIncr,
+				Steps: []Step{{Op: &data.Op{Mode: data.ModeIncr, Item: "x", Arg: 1}}}}},
+		}}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("T4 err = %v, want ErrTimeout", err)
+	}
+
+	want := Metrics{
+		Commits:        2, // T1, T2
+		Aborts:         0, // single client: no wait-die sacrifices
+		ClientAborts:   1, // T3
+		LeafOps:        4, // T1: 2; T2: 1 (its fault fired before the apply); T3: 1
+		Invokes:        3, // T1, T2, T3 (T2's sub-retry re-runs exec, not invoke; T4 timed out first)
+		LockWaits:      0,
+		Timeouts:       1, // T4
+		InjectedFaults: 1, // T2's trigger
+		SubRetries:     1, // T2's local recovery
+	}
+	if got := rt.Metrics(); got != want {
+		t.Fatalf("metrics = %+v, want %+v", got, want)
+	}
+	checkCompC(t, rt)
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"compositetx/internal/data"
 )
@@ -47,10 +48,34 @@ func newLockManager() *lockManager {
 // an older root; wg may be nil. Under DetectWFG the requester registers
 // its waits in the runtime-global graph and dies iff that closes a cycle.
 func (lm *lockManager) acquire(table *data.ModeTable, item string, mode data.Mode, owner string, ts uint64, pol DeadlockPolicy, wg *waitGraph) error {
+	return lm.acquireUntil(table, item, mode, owner, ts, pol, wg, time.Time{})
+}
+
+// acquireUntil is acquire with a deadline: a request still waiting when
+// the deadline passes returns ErrTimeout instead of blocking forever. A
+// zero deadline waits indefinitely. The deadline timer broadcasts on the
+// manager's cond so sleeping waiters re-check promptly.
+func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode data.Mode, owner string, ts uint64, pol DeadlockPolicy, wg *waitGraph, deadline time.Time) error {
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return ErrTimeout
+		}
+		timer = time.AfterFunc(d, func() {
+			lm.mu.Lock()
+			lm.cond.Broadcast()
+			lm.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	waited := false
 	for {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrTimeout
+		}
 		var holders []uint64
 		die := false
 		for _, e := range lm.items[item] {

@@ -42,6 +42,15 @@ func newStagedRecord() *stagedRecord { return &stagedRecord{} }
 func (s *stagedRecord) declareNode(n nodeDecl) { s.nodes = append(s.nodes, n) }
 func (s *stagedRecord) addEvent(e event)       { s.events = append(s.events, e) }
 
+// truncate drops the staged declarations and events past the given
+// lengths: the record-side of a subtransaction-scoped rollback, so a
+// compensated-and-retried subtransaction leaves no trace of its failed
+// attempt in the committed projection.
+func (s *stagedRecord) truncate(nodes, events int) {
+	s.nodes = s.nodes[:nodes]
+	s.events = s.events[:events]
+}
+
 // recorder accumulates committed attempts.
 type recorder struct {
 	nodes  []nodeDecl

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"compositetx/internal/data"
 )
@@ -107,6 +108,13 @@ type Metrics struct {
 	LeafOps      int64
 	Invokes      int64
 	LockWaits    int64
+
+	// Fault/recovery counters (zero unless faults, deadlines, or
+	// compensation failures occur).
+	Timeouts             int64 // deadline expiries (ErrTimeout), each followed by a fresh-window retry
+	InjectedFaults       int64 // faults fired by the injector across all sites
+	SubRetries           int64 // subtransaction-scoped local re-runs (OpenNested/Hybrid)
+	CompensationFailures int64 // compensations quarantined after the retry budget
 }
 
 // Runtime is a running composite system.
@@ -124,15 +132,35 @@ type Runtime struct {
 	clientAborts atomic.Int64
 	leafOps      atomic.Int64
 	invokes      atomic.Int64
+	timeouts     atomic.Int64
+	subRetries   atomic.Int64
+	compFailures atomic.Int64
 
 	mu  sync.Mutex
 	rec *recorder
 
 	wfg *waitGraph
 
+	inj *injector // fault injection (nil = off); see SetFaults
+
+	qmu         sync.Mutex
+	quarantined []Quarantine
+
 	// MaxRetries bounds retries per transaction (safety net; wait-die
 	// guarantees progress long before this).
 	MaxRetries int
+
+	// SubRetries bounds the local re-runs of a faulted subtransaction
+	// before the failure propagates to the root (OpenNested and Hybrid
+	// only, where the subtransaction's locks are still local).
+	SubRetries int
+
+	// OpTimeout, when positive, gives every Submit attempt a deadline of
+	// now+OpTimeout: a stuck (sub)transaction aborts with ErrTimeout and
+	// the root retries with a fresh window, instead of hanging its client
+	// goroutine. Invocation.Deadline sets an absolute per-invocation
+	// bound on top of (or instead of) this.
+	OpTimeout time.Duration
 
 	// Deadlock selects the deadlock-handling policy of every lock manager
 	// (default WaitDie). Set before submitting transactions.
@@ -149,6 +177,7 @@ func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 		rec:        newRecorder(),
 		wfg:        newWaitGraph(),
 		MaxRetries: 10000,
+		SubRetries: 2,
 	}
 	for _, spec := range specs {
 		if spec.Name == "" {
@@ -186,11 +215,15 @@ func (r *Runtime) Protocol() Protocol { return r.protocol }
 // Metrics returns a snapshot of the runtime counters.
 func (r *Runtime) Metrics() Metrics {
 	m := Metrics{
-		Commits:      r.commits.Load(),
-		Aborts:       r.aborts.Load(),
-		ClientAborts: r.clientAborts.Load(),
-		LeafOps:      r.leafOps.Load(),
-		Invokes:      r.invokes.Load(),
+		Commits:              r.commits.Load(),
+		Aborts:               r.aborts.Load(),
+		ClientAborts:         r.clientAborts.Load(),
+		LeafOps:              r.leafOps.Load(),
+		Invokes:              r.invokes.Load(),
+		Timeouts:             r.timeouts.Load(),
+		InjectedFaults:       r.inj.total(),
+		SubRetries:           r.subRetries.Load(),
+		CompensationFailures: r.compFailures.Load(),
 	}
 	m.LockWaits = r.globalLM.waitCount()
 	names := make([]string, 0, len(r.comps))

@@ -38,12 +38,18 @@ type Invocation struct {
 	Item      string    // semantic lock item at the caller
 	Mode      data.Mode // semantic lock mode at the caller
 	Steps     []Step
+
+	// Deadline, when nonzero, bounds this (sub)transaction and its
+	// subtree: a step executing (or a lock acquisition waiting) past it
+	// aborts with ErrTimeout. It tightens any deadline inherited from
+	// the caller or from Runtime.OpTimeout.
+	Deadline time.Time
 }
 
 // TxResult reports a committed transaction.
 type TxResult struct {
 	Root    model.NodeID // node ID of the committed root transaction
-	Retries int          // wait-die sacrifices before the commit
+	Retries int          // rollback-retry rounds (wait-die sacrifices and recovered faults) before the commit
 	Values  []int64      // results of the leaf reads, in program order
 }
 
@@ -53,6 +59,10 @@ var ErrTooManyRetries = errors.New("sched: transaction exceeded retry budget")
 // ErrClientAbort wraps an application-initiated abort (Step.Fail): the
 // transaction is rolled back (compensated) and not retried.
 var ErrClientAbort = errors.New("sched: transaction aborted by client")
+
+// compensationRetries bounds the re-attempts of one failing compensation
+// before the operation is quarantined.
+const compensationRetries = 3
 
 // attempt carries the per-attempt execution state: the undo log, the lock
 // owners created so far (for release on abort or commit), and the staged
@@ -74,12 +84,31 @@ type ownerRef struct {
 
 type undoEntry struct {
 	store *data.Store
+	comp  string
 	op    data.Op
 	res   data.Result
 }
 
+// snapshot marks a point in the attempt's logs, so a faulted
+// subtransaction can be rolled back and re-run without discarding the
+// work of the rest of the transaction.
+type snapshot struct {
+	undo, owners, nodes, events, values int
+}
+
+func (a *attempt) snapshot() snapshot {
+	return snapshot{
+		undo:   len(a.undo),
+		owners: len(a.owners),
+		nodes:  len(a.stage.nodes),
+		events: len(a.stage.events),
+		values: len(a.values),
+	}
+}
+
 // Submit runs the program as a root transaction, retrying on wait-die
-// sacrifices until it commits. It is safe to call from many goroutines.
+// sacrifices, recovered injected faults, and deadline expiries until it
+// commits. It is safe to call from many goroutines.
 func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 	if _, ok := r.comps[root.Component]; !ok {
 		return nil, fmt.Errorf("sched: unknown component %q", root.Component)
@@ -88,6 +117,12 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 	rootID := model.NodeID(name)
 	retries := 0
 	for {
+		deadline := root.Deadline
+		if r.OpTimeout > 0 {
+			if d := time.Now().Add(r.OpTimeout); deadline.IsZero() || d.Before(deadline) {
+				deadline = d
+			}
+		}
 		a := &attempt{
 			root:  rootID,
 			ts:    ts,
@@ -95,7 +130,7 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 			rng:   rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
 		}
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
-		err := r.exec(a, rootID, string(rootID), root)
+		err := r.exec(a, rootID, string(rootID), root, deadline)
 		if err == nil {
 			// Root commit: release every lock and publish the record.
 			for i := len(a.owners) - 1; i >= 0; i-- {
@@ -108,18 +143,29 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 			r.commits.Add(1)
 			return &TxResult{Root: rootID, Retries: retries, Values: a.values}, nil
 		}
-		if !errors.Is(err, ErrDie) {
-			r.rollback(a)
+		r.rollback(a)
+		switch {
+		case errors.Is(err, ErrDie):
+			r.aborts.Add(1)
+		case errors.Is(err, ErrInjected):
+			// Recovered fault: retry as a fresh attempt.
+		case errors.Is(err, ErrTimeout):
+			// A client-supplied deadline is final; an OpTimeout window
+			// renews per attempt.
+			if !root.Deadline.IsZero() && !time.Now().Before(root.Deadline) {
+				return nil, err
+			}
+		default:
 			if errors.Is(err, ErrClientAbort) {
 				r.clientAborts.Add(1)
 			}
 			return nil, err
 		}
-		r.rollback(a)
-		r.aborts.Add(1)
 		retries++
+		// The budget check precedes the backoff: the final failed attempt
+		// returns immediately instead of sleeping first.
 		if retries > r.MaxRetries {
-			return nil, ErrTooManyRetries
+			return nil, fmt.Errorf("%w (last abort: %v)", ErrTooManyRetries, err)
 		}
 		// Jittered exponential backoff before retrying with the same
 		// timestamp (the transaction ages and eventually wins under
@@ -137,16 +183,7 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 // rollback compensates the attempt's applied operations in reverse order
 // and releases its locks.
 func (r *Runtime) rollback(a *attempt) {
-	for i := len(a.undo) - 1; i >= 0; i-- {
-		u := a.undo[i]
-		if inv, ok := data.Inverse(u.op, u.res); ok {
-			// Compensation cannot fail on the integer store.
-			if _, err := u.store.Apply(inv); err != nil {
-				panic(fmt.Sprintf("sched: compensation failed: %v", err))
-			}
-		}
-	}
-	a.undo = a.undo[:0]
+	r.compensate(a, 0)
 	for i := len(a.owners) - 1; i >= 0; i-- {
 		a.owners[i].lm.release(a.owners[i].owner)
 	}
@@ -154,19 +191,83 @@ func (r *Runtime) rollback(a *attempt) {
 	r.wfg.clear(a.ts)
 }
 
+// rollbackTo undoes only the suffix of the attempt after snap: the
+// subtransaction-scoped rollback behind local retry. Locks acquired
+// during the suffix are released, except root-owned ones (Hybrid join
+// points hold to root commit; keeping them is always safe and they are
+// released at root commit/abort).
+func (r *Runtime) rollbackTo(a *attempt, snap snapshot) {
+	r.compensate(a, snap.undo)
+	kept := a.owners[:snap.owners]
+	for _, o := range a.owners[snap.owners:] {
+		if o.owner == string(a.root) {
+			kept = append(kept, o)
+		} else {
+			o.lm.release(o.owner)
+		}
+	}
+	a.owners = kept
+	a.stage.truncate(snap.nodes, snap.events)
+	a.values = a.values[:snap.values]
+	r.wfg.clear(a.ts)
+}
+
+// compensate undoes a.undo[from:] in reverse order. A failing
+// compensation (store error or injected FaultCompensation) is retried
+// with backoff up to compensationRetries times and then quarantined: the
+// runtime keeps running, the counter and Quarantined() report the leak.
+// Compensations never panic — a faulted rollback must not take the
+// process down with it.
+func (r *Runtime) compensate(a *attempt, from int) {
+	for i := len(a.undo) - 1; i >= from; i-- {
+		u := a.undo[i]
+		inv, ok := data.Inverse(u.op, u.res)
+		if !ok {
+			continue
+		}
+		var err error
+		for try := 0; try <= compensationRetries; try++ {
+			if try > 0 {
+				time.Sleep(time.Duration(try) * 50 * time.Microsecond)
+			}
+			if r.inj.fire(FaultCompensation, u.comp, string(a.root), "") {
+				err = fmt.Errorf("sched: compensation fault at %q: %w", u.comp, ErrInjected)
+				continue
+			}
+			if _, err = u.store.Apply(inv); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			r.quarantine(Quarantine{Component: u.comp, Txn: string(a.root), Op: u.op, Err: err})
+		}
+	}
+	a.undo = a.undo[:from]
+}
+
 // exec runs one (sub)transaction at its component. node is the node ID of
 // this (sub)transaction; owner is the lock-owner key for locks it takes
 // (its own node ID under open nesting, the root attempt under closed
-// nesting and global 2PL).
-func (r *Runtime) exec(a *attempt, node model.NodeID, owner string, inv Invocation) error {
+// nesting and global 2PL). deadline bounds the subtree (zero = none).
+func (r *Runtime) exec(a *attempt, node model.NodeID, owner string, inv Invocation, deadline time.Time) error {
 	comp := r.comps[inv.Component]
 	if comp == nil {
 		return fmt.Errorf("sched: unknown component %q", inv.Component)
+	}
+	if !inv.Deadline.IsZero() && (deadline.IsZero() || inv.Deadline.Before(deadline)) {
+		deadline = inv.Deadline
+	}
+	if r.inj.down(comp.name, string(a.root), string(node)) {
+		return fmt.Errorf("sched: %q rejected %s: %w", comp.name, node, ErrComponentDown)
 	}
 	stepOwner := r.lockOwner(a, comp, owner)
 
 	for i, step := range inv.Steps {
 		childID := model.NodeID(fmt.Sprintf("%s/%d", node, i+1))
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			r.timeouts.Add(1)
+			return fmt.Errorf("sched: %s at step %s: %w", node, childID, ErrTimeout)
+		}
 		if step.Sync != nil {
 			step.Sync()
 		}
@@ -180,11 +281,11 @@ func (r *Runtime) exec(a *attempt, node model.NodeID, owner string, inv Invocati
 			if comp.store == nil {
 				return fmt.Errorf("sched: component %q has no store for %s", comp.name, step.Op)
 			}
-			if err := r.leafOp(a, comp, node, childID, stepOwner, *step.Op); err != nil {
+			if err := r.leafOp(a, comp, node, childID, stepOwner, *step.Op, deadline); err != nil {
 				return err
 			}
 		case step.Invoke != nil:
-			if err := r.invoke(a, comp, node, childID, stepOwner, *step.Invoke); err != nil {
+			if err := r.invoke(a, comp, node, childID, stepOwner, *step.Invoke, deadline); err != nil {
 				return err
 			}
 		default:
@@ -219,7 +320,13 @@ func (r *Runtime) lockOwner(a *attempt, comp *component, instance string) string
 }
 
 // leafOp locks and applies a leaf operation.
-func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id model.NodeID, owner string, op data.Op) error {
+func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id model.NodeID, owner string, op data.Op, deadline time.Time) error {
+	// Trigger-based apply faults fire here, where the (txn, step)
+	// context exists; probabilistic ones fire inside the store itself
+	// via the Apply hook SetFaults installs.
+	if r.inj != nil && r.inj.fire(FaultApply, comp.name, string(a.root), string(id)) {
+		return fmt.Errorf("sched: apply fault at %s: %w", id, ErrInjected)
+	}
 	switch r.protocol {
 	case Global2PL:
 		// One global lock space over component-qualified items, classical
@@ -229,22 +336,22 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 		if mode != data.ModeRead {
 			mode = data.ModeWrite
 		}
-		if err := r.acquire(a, r.globalLM, r.rwTable, comp.name+"/"+op.Item, mode, string(a.root)); err != nil {
+		if err := r.acquire(a, r.globalLM, r.rwTable, comp.name+"/"+op.Item, mode, string(a.root), comp.name, string(id), deadline); err != nil {
 			return err
 		}
 	case NoCC:
 		// No isolation.
 	default:
-		if err := r.acquire(a, comp.lm, comp.modes, op.Item, op.Mode, owner); err != nil {
+		if err := r.acquire(a, comp.lm, comp.modes, op.Item, op.Mode, owner, comp.name, string(id), deadline); err != nil {
 			return err
 		}
 	}
 	res, err := comp.store.Apply(op)
 	if err != nil {
-		return err
+		return fmt.Errorf("sched: apply %s at %s: %w", op, id, err)
 	}
 	r.leafOps.Add(1)
-	a.undo = append(a.undo, undoEntry{store: comp.store, op: op, res: res})
+	a.undo = append(a.undo, undoEntry{store: comp.store, comp: comp.name, op: op, res: res})
 	if op.Physical() == data.ModeRead {
 		a.values = append(a.values, res.Value)
 	}
@@ -255,8 +362,12 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 }
 
 // invoke locks the semantic operation at the caller and delegates the
-// subtransaction to the child component.
-func (r *Runtime) invoke(a *attempt, caller *component, parent model.NodeID, id model.NodeID, owner string, inv Invocation) error {
+// subtransaction to the child component. Under OpenNested and Hybrid a
+// subtransaction that fails with a recoverable injected fault is
+// compensated and re-run locally (up to Runtime.SubRetries times) while
+// the caller keeps its semantic lock — a partial failure does not have
+// to abort the whole root.
+func (r *Runtime) invoke(a *attempt, caller *component, parent model.NodeID, id model.NodeID, owner string, inv Invocation, deadline time.Time) error {
 	child := r.comps[inv.Component]
 	if child == nil {
 		return fmt.Errorf("sched: unknown component %q", inv.Component)
@@ -279,15 +390,30 @@ func (r *Runtime) invoke(a *attempt, caller *component, parent model.NodeID, id 
 		// completion, where lock strictness (Global2PL) makes the order
 		// consistent with the leaf serialization.
 	default:
-		if err := r.acquire(a, caller.lm, caller.modes, semItem, inv.Mode, owner); err != nil {
+		if err := r.acquire(a, caller.lm, caller.modes, semItem, inv.Mode, owner, caller.name, string(id), deadline); err != nil {
 			return err
 		}
 		seq = r.seq.Add(1)
 	}
 
 	childOwner := string(id)
-	if err := r.exec(a, id, childOwner, inv); err != nil {
-		return err
+	localRetry := r.protocol == OpenNested || r.protocol == Hybrid
+	for attempt := 0; ; attempt++ {
+		snap := a.snapshot()
+		err := r.exec(a, id, childOwner, inv, deadline)
+		if err == nil {
+			break
+		}
+		// Only injected faults are re-run locally: a wait-die sacrifice
+		// must release the whole transaction (progress guarantee) and a
+		// deadline expiry would expire again immediately.
+		if !localRetry || attempt >= r.SubRetries ||
+			!errors.Is(err, ErrInjected) || errors.Is(err, ErrDie) || errors.Is(err, ErrTimeout) {
+			return err
+		}
+		r.rollbackTo(a, snap)
+		r.subRetries.Add(1)
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Microsecond)
 	}
 	if seq == 0 {
 		seq = r.seq.Add(1)
@@ -297,9 +423,31 @@ func (r *Runtime) invoke(a *attempt, caller *component, parent model.NodeID, id 
 	return nil
 }
 
-// acquire wraps lockManager.acquire with owner bookkeeping.
-func (r *Runtime) acquire(a *attempt, lm *lockManager, table *data.ModeTable, item string, mode data.Mode, owner string) error {
-	if err := lm.acquire(table, item, mode, owner, a.ts, r.Deadlock, r.wfg); err != nil {
+// acquire wraps lockManager.acquireUntil with fault injection, timeout
+// accounting, and owner bookkeeping. comp and step give the injector its
+// (component, txn, step) context.
+func (r *Runtime) acquire(a *attempt, lm *lockManager, table *data.ModeTable, item string, mode data.Mode, owner, comp, step string, deadline time.Time) error {
+	if r.inj != nil {
+		if r.inj.fire(FaultLockFail, comp, string(a.root), step) {
+			return fmt.Errorf("sched: lock fault at %s (%s): %w", step, item, ErrInjected)
+		}
+		if r.inj.fire(FaultLockDelay, comp, string(a.root), step) {
+			d := r.inj.delay()
+			if !deadline.IsZero() {
+				if until := time.Until(deadline); until < d {
+					d = until
+				}
+			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	if err := lm.acquireUntil(table, item, mode, owner, a.ts, r.Deadlock, r.wfg, deadline); err != nil {
+		if errors.Is(err, ErrTimeout) {
+			r.timeouts.Add(1)
+			return fmt.Errorf("sched: lock wait for %s at %s: %w", item, step, err)
+		}
 		return err
 	}
 	a.addOwner(lm, owner)

@@ -130,6 +130,29 @@ func TestE9BothPoliciesSound(t *testing.T) {
 	}
 }
 
+func TestE10ChaosRecoversEverywhere(t *testing.T) {
+	cfg := RunConfig{Roots: 25, StepsPerTx: 3, Items: 3, Clients: 6,
+		ReadRatio: 0.25, WriteRatio: 0.3, Seed: 7}
+	tab := E10Chaos(cfg)
+	if len(tab.Rows) != 27 {
+		t.Fatalf("rows = %d, want 27 (3 topologies x 3 protocols x 3 mixes)", len(tab.Rows))
+	}
+	faults := 0
+	for _, row := range tab.Rows {
+		if v := row[len(row)-1]; v != "Comp-C" {
+			t.Fatalf("chaos cell recorded %q: %v", v, row)
+		}
+		n, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("bad fault count in row %v", row)
+		}
+		faults += n
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected; the chaos experiment is vacuous")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}, Note: "n"}
 	tab.AddRow(1, "x")

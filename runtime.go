@@ -34,6 +34,18 @@ type (
 	// set Runtime.Deadlock before submitting transactions.
 	DeadlockPolicy = sched.DeadlockPolicy
 
+	// FaultPlan configures deterministic, seeded fault injection on a
+	// runtime (Runtime.SetFaults): per-site probabilities and exact
+	// (txn, step) triggers. See FaultApply..FaultDown for the sites.
+	FaultPlan = sched.FaultPlan
+	// Trigger fires a fault deterministically at an exact (txn, step).
+	Trigger = sched.Trigger
+	// FaultSite names one of the five injection points.
+	FaultSite = sched.FaultSite
+	// Quarantine reports an operation whose compensation failed
+	// permanently (Runtime.Quarantined).
+	Quarantine = sched.Quarantine
+
 	// Op is a data-store operation; Mode its semantic class.
 	Op = data.Op
 	// Mode names the semantic class of an operation.
@@ -53,6 +65,26 @@ const (
 	Global2PL    = sched.Global2PL
 	Hybrid       = sched.Hybrid
 	NoCC         = sched.NoCC
+)
+
+// Fault-injection sites (FaultPlan probabilities and Trigger.Site).
+const (
+	FaultApply        = sched.FaultApply
+	FaultLockDelay    = sched.FaultLockDelay
+	FaultLockFail     = sched.FaultLockFail
+	FaultCompensation = sched.FaultCompensation
+	FaultDown         = sched.FaultDown
+)
+
+// Typed runtime errors: recoverable injected faults, component outages,
+// deadline expiries (Invocation.Deadline / Runtime.OpTimeout), retry
+// budget exhaustion, and application-initiated aborts.
+var (
+	ErrInjected       = sched.ErrInjected
+	ErrComponentDown  = sched.ErrComponentDown
+	ErrTimeout        = sched.ErrTimeout
+	ErrTooManyRetries = sched.ErrTooManyRetries
+	ErrClientAbort    = sched.ErrClientAbort
 )
 
 // Deadlock-handling policies.
