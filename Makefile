@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos bench experiments clean
+.PHONY: all build test verify race chaos crash bench experiments clean
 
 all: build test
 
@@ -24,18 +24,28 @@ verify:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestTrigger|TestSeededFaults|TestCompensation' ./internal/sched
 
+# crash runs the durability suite under the race detector: WAL torn-tail
+# and rotation cases, every deterministic crash site, recovery idempotence,
+# deterministic replay, the crash-chaos conservation soak, and the E11
+# crash matrix.
+crash:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestCrash|TestRecover|TestDeterministicReplay|TestEnableWAL' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestE11' ./internal/sim
+
 # race runs only the parallel-path packages under the race detector —
 # quicker than verify when iterating on sched or front.
 race:
 	$(GO) test -race ./internal/sched ./internal/front .
 
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
-# chaos-recovery table, plus checker microbenchmarks (ns/op and
-# CheckBatch worker scaling). See DESIGN.md §6.1.
+# chaos-recovery and E11 crash-matrix tables, plus checker and WAL
+# microbenchmarks (ns/op, CheckBatch worker scaling, WAL append under each
+# group-commit setting, full crash recovery). See DESIGN.md §6.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11 -json BENCH_checker.json
 
-# experiments regenerates every E1-E10 table on stdout.
+# experiments regenerates every E1-E11 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

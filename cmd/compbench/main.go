@@ -1,15 +1,16 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E10 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E11 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
 //	compbench [-only E4] [-samples n] [-json out.json]
 //
 // -only accepts a comma-separated list (e.g. -only E1,E2,E7). With -json,
-// the selected tables plus the checker microbenchmarks (ns/op for the
-// E1/E2 units, the E7 scaling configurations, and CheckBatch throughput at
-// 1 vs 8 workers) are also written to the given file; the repository keeps
-// the result as BENCH_checker.json so the checker's perf trajectory is
+// the selected tables plus the checker and WAL microbenchmarks (ns/op for
+// the E1/E2 units, the E7 scaling configurations, CheckBatch throughput at
+// 1 vs 8 workers, WAL append under each group-commit setting, and full
+// crash recovery) are also written to the given file; the repository keeps
+// the result as BENCH_checker.json so the perf trajectory is
 // machine-readable across PRs.
 package main
 
@@ -32,7 +33,7 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E10)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E11)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	flag.Parse()
@@ -48,8 +49,9 @@ func main() {
 		"E8": func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
 		"E9":  func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
 		"E10": func() *sim.Table { return sim.E10Chaos(sim.DefaultChaosConfig()) },
+		"E11": func() *sim.Table { return sim.E11CrashMatrix(sim.DefaultCrashConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -77,7 +79,7 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: sim.CheckerBenchmarks(),
+			Benchmarks: append(sim.CheckerBenchmarks(), sim.WALBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -5,9 +5,18 @@
 // Usage:
 //
 //	compsim -topology bank -protocol hybrid -roots 500 -clients 16
+//
+// With -wal the runtime journals through a durable write-ahead log; a run
+// killed by a crash fault (-crash, or a "crash=p" fault site) exits with
+// status 3 and can be recovered — torn tail truncated, in-flight work
+// undone, committed work redone and re-verified — with -recover:
+//
+//	compsim -topology bank -wal /tmp/bank.wal -crash T13:commit
+//	compsim -recover /tmp/bank.wal
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +27,7 @@ import (
 	ctx "compositetx"
 )
 
-// parseFaults turns "apply=0.02,lock-delay=0.05,down=0.01" into a
+// parseFaults turns "apply=0.02,lock-delay=0.05,crash=0.01" into a
 // FaultPlan (site names match FaultSite.String; values are per-visit
 // probabilities).
 func parseFaults(spec string, seed int64) (ctx.FaultPlan, error) {
@@ -47,11 +56,55 @@ func parseFaults(spec string, seed int64) (ctx.FaultPlan, error) {
 			plan.CompensationProb = p
 		case "down":
 			plan.DownProb = p
+		case "crash":
+			plan.CrashProb = p
 		default:
-			return plan, fmt.Errorf("unknown fault site %q (apply|lock-delay|lock-fail|compensation|down)", k)
+			return plan, fmt.Errorf("unknown fault site %q (apply|lock-delay|lock-fail|compensation|down|crash)", k)
 		}
 	}
 	return plan, nil
+}
+
+// parseCrash turns a deterministic crash spec into a trigger: a leaf node
+// ID ("T13/2/1", transaction inferred from the prefix), or
+// "T13:commit" / "T13:post-commit" for the commit-protocol sites.
+func parseCrash(spec string) (ctx.Trigger, error) {
+	trig := ctx.Trigger{Site: ctx.FaultCrash}
+	if txn, site, ok := strings.Cut(spec, ":"); ok {
+		if site != "commit" && site != "post-commit" {
+			return trig, fmt.Errorf("bad crash site %q (want commit|post-commit)", site)
+		}
+		trig.Txn, trig.Step = txn, site
+		return trig, nil
+	}
+	txn, _, ok := strings.Cut(spec, "/")
+	if !ok {
+		return trig, fmt.Errorf("bad crash spec %q (want a leaf node ID like T13/2/1, or T13:commit)", spec)
+	}
+	trig.Txn, trig.Step = txn, spec
+	return trig, nil
+}
+
+// runRecover is the -recover mode: rebuild a runtime from a WAL directory
+// and report what recovery found.
+func runRecover(dir string) {
+	rec, err := ctx.Recover(ctx.WALConfig{Dir: dir})
+	if rec == nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		os.Exit(2)
+	}
+	s := rec.Stats
+	fmt.Printf("recovered wal=%s segments=%d records=%d torn-bytes=%d\n", dir, s.Segments, s.Records, s.TornBytes)
+	fmt.Printf("txns committed=%d aborted=%d in-flight=%d redone=%d undone=%d quarantined=%d\n",
+		s.Committed, s.Aborted, s.InFlight, s.Redone, s.Undone, s.Quarantined)
+	for _, q := range rec.Runtime.Quarantined() {
+		fmt.Printf("quarantine: component=%s txn=%s op=%s err=%v\n", q.Component, q.Txn, q.Op, q.Err)
+	}
+	fmt.Printf("recovered execution: %s\n", rec.Verdict)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func main() {
@@ -69,7 +122,17 @@ func main() {
 	faults := flag.String("faults", "", "fault injection, e.g. apply=0.02,lock-delay=0.05,down=0.01")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	opTimeout := flag.Duration("op-timeout", 0, "per-attempt deadline (0 = none), e.g. 25ms")
+	walDir := flag.String("wal", "", "journal through a durable write-ahead log in this directory")
+	walSync := flag.Int("wal-sync", 1, "fsync every N WAL records (<=1: every record, <0: never)")
+	crash := flag.String("crash", "", `deterministic crash trigger: a leaf node ID ("T13/2/1") or "T13:commit"/"T13:post-commit" (requires -wal)`)
+	crashTear := flag.Bool("crash-tear", false, "tear the WAL record mid-append when the crash fires")
+	recoverDir := flag.String("recover", "", "recover from a WAL directory, report, and exit")
 	flag.Parse()
+
+	if *recoverDir != "" {
+		runRecover(*recoverDir)
+		return
+	}
 
 	topos := map[string]*ctx.Topology{
 		"stack2":  ctx.StackTopology(2),
@@ -120,12 +183,31 @@ func main() {
 		os.Exit(2)
 	}
 	rt.OpTimeout = *opTimeout
-	if *faults != "" {
-		plan, err := parseFaults(*faults, *faultSeed)
+	if *walDir != "" {
+		if err := rt.EnableWAL(ctx.WALConfig{Dir: *walDir, SyncEvery: *walSync}); err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	plan, err := parseFaults(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *crash != "" {
+		trig, err := parseCrash(*crash)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
 			os.Exit(2)
 		}
+		plan.Triggers = append(plan.Triggers, trig)
+	}
+	plan.CrashTear = *crashTear
+	if (*crash != "" || plan.CrashProb > 0) && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "compsim: crash faults need -wal (nothing would survive to recover)")
+		os.Exit(2)
+	}
+	if *faults != "" || *crash != "" {
 		rt.SetFaults(plan)
 	}
 	programs := ctx.GenPrograms(topo, ctx.WorkloadParams{
@@ -133,19 +215,29 @@ func main() {
 		ReadRatio: *readRatio, WriteRatio: *writeRatio, Seed: *seed,
 	})
 	start := time.Now()
-	if err := ctx.Run(rt, programs, *clients); err != nil {
-		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-		os.Exit(1)
-	}
+	runErr := ctx.Run(rt, programs, *clients)
 	elapsed := time.Since(start)
 	m := rt.Metrics()
 	fmt.Printf("topology=%s protocol=%s roots=%d clients=%d\n", *topoName, proto, *roots, *clients)
+	if errors.Is(runErr, ctx.ErrCrashed) {
+		fmt.Println(m.String())
+		fmt.Printf("crashed: runtime killed by a crash fault; the WAL at %s survived\n", *walDir)
+		fmt.Printf("recover with: compsim -recover %s\n", *walDir)
+		os.Exit(3)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", runErr)
+		os.Exit(1)
+	}
+	if *walDir != "" {
+		if err := rt.CloseWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("wall=%s throughput=%.0f tx/s\n", elapsed.Round(time.Millisecond), float64(m.Commits)/elapsed.Seconds())
-	fmt.Printf("commits=%d aborts=%d leaf-ops=%d invocations=%d lock-waits=%d\n",
-		m.Commits, m.Aborts, m.LeafOps, m.Invokes, m.LockWaits)
+	fmt.Println(m.String())
 	if *faults != "" || *opTimeout > 0 {
-		fmt.Printf("faults=%d timeouts=%d sub-retries=%d quarantined=%d\n",
-			m.InjectedFaults, m.Timeouts, m.SubRetries, m.CompensationFailures)
 		for _, q := range rt.Quarantined() {
 			fmt.Printf("quarantine: component=%s txn=%s op=%s err=%v\n", q.Component, q.Txn, q.Op, q.Err)
 		}

@@ -1,5 +1,7 @@
 package data
 
+import "sort"
+
 // ModeTable is a symmetric conflict specification over operation modes: it
 // answers whether two operations on the same item conflict (do not
 // commute). Operations on different items never conflict.
@@ -88,6 +90,24 @@ func EscrowTable() *ModeTable {
 		Declare(ModeAudit, ModeDeposit).
 		Declare(ModeAudit, ModeWithdraw).
 		Declare(ModeAudit, ModeAudit)
+}
+
+// Pairs returns the declared conflicts as canonical (sorted) mode pairs,
+// in lexicographic order — the serialization the topology codec persists.
+func (t *ModeTable) Pairs() [][2]Mode {
+	out := make([][2]Mode, 0, len(t.conflicts))
+	for p, ok := range t.conflicts {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // IsShared reports whether a mode is compatible with itself under the

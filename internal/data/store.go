@@ -142,6 +142,18 @@ func (s *Store) Set(item string, v int64) {
 	s.vals[item] = v
 }
 
+// Snapshot copies the store's current contents (for WAL baselines and
+// conservation assertions).
+func (s *Store) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
 // Applied returns the number of operations applied.
 func (s *Store) Applied() int64 {
 	s.mu.Lock()

@@ -40,6 +40,15 @@ const (
 	// FaultDown takes the component "down": it refuses new
 	// (sub)transactions until FaultPlan.DownWindow elapses.
 	FaultDown
+	// FaultCrash kills the whole runtime at the injection point: the
+	// current attempt panic-abandons without rollback (locks and all),
+	// every other in-flight Submit drains with ErrCrashed, and the WAL —
+	// when attached — loses its unsynced buffer like an OS cache would
+	// (optionally leaving a torn record, FaultPlan.CrashTear). The only
+	// way forward is Recover. Crash sites are the leaf-apply journal
+	// point (Trigger.Step = the leaf's node ID, or probabilistic) and the
+	// commit path (Trigger.Step "commit" / "post-commit").
+	FaultCrash
 )
 
 func (s FaultSite) String() string {
@@ -54,6 +63,8 @@ func (s FaultSite) String() string {
 		return "compensation"
 	case FaultDown:
 		return "down"
+	case FaultCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("FaultSite(%d)", int(s))
 	}
@@ -82,6 +93,12 @@ type FaultPlan struct {
 	LockFailProb     float64 // per lock acquisition
 	CompensationProb float64 // per compensation attempt
 	DownProb         float64 // per (sub)transaction arrival at a component
+	CrashProb        float64 // per crash site visit (leaf journal point, commit, post-commit)
+
+	// CrashTear makes a leaf-site crash abandon the WAL mid-append,
+	// leaving a torn (half-written) record at the tail — the case
+	// recovery must truncate, never replay.
+	CrashTear bool
 
 	LockDelay  time.Duration // stall for FaultLockDelay (default 1ms)
 	DownWindow time.Duration // outage length for FaultDown (default 1ms)
@@ -182,6 +199,8 @@ func (in *injector) fire(site FaultSite, comp, txn, step string) bool {
 		p = in.plan.CompensationProb
 	case FaultDown:
 		p = in.plan.DownProb
+	case FaultCrash:
+		p = in.plan.CrashProb
 	}
 	if p <= 0 || (in.allowed != nil && !in.allowed[comp]) {
 		return false
@@ -251,6 +270,15 @@ func (in *injector) total() int64 {
 // delay returns the configured lock-acquisition stall.
 func (in *injector) delay() time.Duration { return in.plan.LockDelay }
 
+// tear reports whether leaf-site crashes should abandon the WAL
+// mid-append (torn tail).
+func (in *injector) tear() bool {
+	if in == nil {
+		return false
+	}
+	return in.plan.CrashTear
+}
+
 // SetFaults installs a fault plan on the runtime: probabilistic and
 // trigger-based faults at the five sites of FaultSite. The plan also
 // installs an Apply hook (data.Store.SetApplyHook) on every component
@@ -259,7 +287,8 @@ func (in *injector) delay() time.Duration { return in.plan.LockDelay }
 // submitting transactions; passing a zero FaultPlan removes injection.
 func (r *Runtime) SetFaults(plan FaultPlan) {
 	if plan.ApplyProb <= 0 && plan.LockDelayProb <= 0 && plan.LockFailProb <= 0 &&
-		plan.CompensationProb <= 0 && plan.DownProb <= 0 && len(plan.Triggers) == 0 {
+		plan.CompensationProb <= 0 && plan.DownProb <= 0 && plan.CrashProb <= 0 &&
+		len(plan.Triggers) == 0 {
 		r.inj = nil
 		for _, c := range r.comps {
 			if c.store != nil {

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"compositetx/internal/data"
@@ -24,6 +25,12 @@ type lockManager struct {
 	items map[string][]lockEntry
 
 	waits int64 // number of times a request had to wait (metrics)
+
+	// crashed, when set by the runtime, is its crash flag: a simulated
+	// process crash (FaultCrash) abandons locks without releasing them,
+	// so waiters must drain with ErrCrashed instead of blocking on locks
+	// nobody will ever release. Nil for standalone managers (tests).
+	crashed *atomic.Bool
 }
 
 type lockEntry struct {
@@ -73,6 +80,9 @@ func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode dat
 	defer lm.mu.Unlock()
 	waited := false
 	for {
+		if lm.crashed != nil && lm.crashed.Load() {
+			return ErrCrashed
+		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return ErrTimeout
 		}
@@ -134,6 +144,14 @@ func (lm *lockManager) release(owner string) {
 	if changed {
 		lm.cond.Broadcast()
 	}
+}
+
+// wake broadcasts without changing lock state, so sleeping waiters
+// re-check the crash flag.
+func (lm *lockManager) wake() {
+	lm.mu.Lock()
+	lm.cond.Broadcast()
+	lm.mu.Unlock()
 }
 
 // heldBy reports whether owner holds any lock (tests).

@@ -23,6 +23,7 @@ type Topology struct {
 // Hybrid protocol.
 func (t *Topology) NewRuntime(p Protocol) *Runtime {
 	r := New(p, t.Specs)
+	r.topo = t
 	callers := map[string]int{}
 	for parent, kids := range t.Children {
 		seen := map[string]bool{}

@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+	"compositetx/internal/wal"
+)
+
+// Crash recovery: rebuild a runtime — stores AND recorded execution —
+// from nothing but a WAL directory, in the classic three passes.
+//
+// Analysis walks the log once and classifies every transaction (committed
+// iff its commit marker is durable, aborted iff marked, in-flight
+// otherwise) and every journaled apply (cancelled by TypeApplyFail,
+// compensated by TypeComp, leaked by TypeQuarantine).
+//
+// Redo replays, against freshly built stores, the seed baseline, every
+// non-cancelled apply, and every non-quarantined compensation, in log
+// order. Because the stores start empty, "redo" is total replay rather
+// than an LSN high-water comparison; the result is exactly the state the
+// crashed process had made durable.
+//
+// Undo inverts — in reverse log order — each apply of a non-committed
+// transaction that has neither a compensation nor a quarantine on record,
+// journaling each inverse (and a final abort marker per transaction)
+// before applying it. The journaled inverses make recovery idempotent in
+// the ARIES compensation-log-record sense: recovering the recovered log
+// again finds every in-flight apply already compensated and has nothing
+// to undo. Quarantined compensations are deliberately NOT repaired: the
+// leak happened, the recovered runtime re-reports it via Quarantined().
+//
+// Finally the committed projection (node/event records of committed
+// transactions) is rebuilt into the recorder and re-checked with the
+// Comp-C reduction (front.Check), so every recovery ends with the same
+// verdict a never-crashed run would get.
+
+// ErrRecoveredViolation is returned by Recover when the recovered
+// committed execution fails the Comp-C check. The Recovered value is
+// still returned alongside it, so callers can inspect the verdict.
+var ErrRecoveredViolation = errors.New("sched: recovered execution is not Comp-C")
+
+// RecoveryStats summarizes one recovery pass.
+type RecoveryStats struct {
+	Segments  int   // WAL segment files scanned
+	Records   int   // valid records read
+	TornBytes int64 // torn tail truncated (0 on a clean shutdown)
+
+	Committed int // transactions with a durable commit marker
+	Aborted   int // transactions the crashed process had rolled back
+	InFlight  int // transactions interrupted by the crash (undone here)
+
+	Redone      int // applies + compensations replayed into the stores
+	Undone      int // inverse operations applied (and journaled) here
+	Quarantined int // leaked compensations re-reported from the log
+}
+
+// Recovered is the result of a WAL recovery.
+type Recovered struct {
+	Runtime *Runtime       // rebuilt runtime, WAL re-attached, ready for new Submits
+	System  *model.System  // recovered committed execution
+	Verdict *front.Verdict // Comp-C verdict over System
+	Stats   RecoveryStats
+}
+
+// Recover rebuilds a runtime from the write-ahead log in cfg.Dir: torn
+// tail truncated, committed work redone, in-flight work undone and
+// journaled, quarantines re-reported, and the recovered execution
+// re-verified against Comp-C. On a verdict failure the Recovered value is
+// returned together with ErrRecoveredViolation.
+func Recover(cfg WALConfig) (*Recovered, error) {
+	recs, info, err := wal.ReadAll(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 || recs[0].Type != wal.TypeMeta {
+		return nil, fmt.Errorf("sched: %q does not start with a WAL metadata record", cfg.Dir)
+	}
+	var meta walMeta
+	if err := json.Unmarshal(recs[0].Meta, &meta); err != nil {
+		return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)
+	}
+	protocol, err := ParseProtocol(meta.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)
+	}
+	topo, err := topologyFromDoc(meta.Topology, false)
+	if err != nil {
+		return nil, fmt.Errorf("sched: bad WAL topology: %w", err)
+	}
+	rt := topo.NewRuntime(protocol)
+
+	// --- Analysis ---
+	type applyRec struct {
+		lsn int // 1-based index into recs
+		rec wal.Record
+	}
+	var (
+		applies     []applyRec
+		applyByLSN  = map[uint64]wal.Record{}
+		cancelled   = map[uint64]bool{}
+		compensated = map[uint64]bool{}
+		quarantined = map[uint64]bool{}
+		committed   = map[string]bool{}
+		aborted     = map[string]bool{}
+		active      = map[string]bool{} // txns with any journaled mutation
+		maxSeq      uint64
+	)
+	for i, rec := range recs {
+		lsn := uint64(i + 1)
+		switch rec.Type {
+		case wal.TypeApply:
+			applies = append(applies, applyRec{lsn: i + 1, rec: rec})
+			applyByLSN[lsn] = rec
+			active[rec.Txn] = true
+		case wal.TypeApplyFail:
+			cancelled[rec.Ref] = true
+		case wal.TypeComp:
+			compensated[rec.Ref] = true
+		case wal.TypeQuarantine:
+			quarantined[rec.Ref] = true
+		case wal.TypeCommit:
+			committed[rec.Txn] = true
+		case wal.TypeAbort:
+			aborted[rec.Txn] = true
+		case wal.TypeEvent:
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		}
+	}
+	stats := RecoveryStats{
+		Segments:  info.Segments,
+		Records:   info.Records,
+		TornBytes: info.TornBytes,
+		Committed: len(committed),
+	}
+	for txn := range aborted {
+		if !committed[txn] {
+			stats.Aborted++
+		}
+	}
+
+	// Reopen the log for appending before the undo pass, so recovery's
+	// own compensations and abort markers are journaled write-ahead like
+	// everything else (this also physically truncates the torn tail).
+	log, _, err := wal.Open(cfg.Dir, wal.Options{SyncEvery: cfg.SyncEvery, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	rt.wal = log
+
+	// --- Redo ---
+	storeOf := func(comp string) (*data.Store, error) {
+		c := rt.comps[comp]
+		if c == nil || c.store == nil {
+			return nil, fmt.Errorf("sched: WAL references unknown store component %q", comp)
+		}
+		return c.store, nil
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeSeed:
+			s, err := storeOf(rec.Comp)
+			if err != nil {
+				log.Close()
+				return nil, err
+			}
+			s.Set(rec.Item, rec.Prev)
+		}
+	}
+	for i, rec := range recs {
+		lsn := uint64(i + 1)
+		switch rec.Type {
+		case wal.TypeApply:
+			if cancelled[lsn] {
+				continue
+			}
+		case wal.TypeComp:
+			if quarantined[rec.Ref] {
+				continue // the compensation never took effect; keep the leak
+			}
+		default:
+			continue
+		}
+		s, err := storeOf(rec.Comp)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if _, err := s.Apply(opOf(rec)); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("sched: redo of %s record %d: %w", rec.Type, lsn, err)
+		}
+		stats.Redone++
+	}
+
+	// --- Undo ---
+	for i := len(applies) - 1; i >= 0; i-- {
+		lsn, rec := uint64(applies[i].lsn), applies[i].rec
+		if committed[rec.Txn] || cancelled[lsn] || compensated[lsn] || quarantined[lsn] {
+			continue
+		}
+		inv, ok := data.Inverse(opOf(rec), data.Result{Prev: rec.Prev})
+		if !ok {
+			continue
+		}
+		if _, err := log.Append(wal.Record{
+			Type: wal.TypeComp, Txn: rec.Txn, Comp: rec.Comp,
+			Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
+			Arg: inv.Arg, Ref: lsn,
+		}); err != nil {
+			log.Close()
+			return nil, err
+		}
+		s, err := storeOf(rec.Comp)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if _, err := s.Apply(inv); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("sched: undo of apply record %d: %w", lsn, err)
+		}
+		stats.Undone++
+	}
+	for txn := range active {
+		if committed[txn] || aborted[txn] {
+			continue
+		}
+		stats.InFlight++
+		if _, err := log.Append(wal.Record{Type: wal.TypeAbort, Txn: txn}); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	if err := log.Sync(); err != nil {
+		log.Close()
+		return nil, err
+	}
+
+	// Re-report quarantined compensations from the log.
+	for lsn := range quarantined {
+		rec, ok := applyByLSN[lsn]
+		if !ok {
+			continue
+		}
+		rt.quarantine(Quarantine{
+			Component: rec.Comp, Txn: rec.Txn, Op: opOf(rec),
+			Err: errors.New("sched: compensation quarantined before crash (from WAL)"),
+		})
+	}
+	stats.Quarantined = len(rt.quarantined)
+
+	// --- Rebuild the committed projection ---
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeNode:
+			if committed[rec.Txn] {
+				rt.rec.nodes = append(rt.rec.nodes, nodeDecl{
+					id: model.NodeID(rec.Node), parent: model.NodeID(rec.Parent), sched: rec.Sched,
+				})
+			}
+		case wal.TypeEvent:
+			if committed[rec.Txn] {
+				rt.rec.events = append(rt.rec.events, event{
+					seq: rec.Seq, comp: rec.Comp,
+					op: model.NodeID(rec.Node), parentTx: model.NodeID(rec.Parent),
+					item: rec.Item, mode: data.Mode(rec.Mode),
+				})
+			}
+		}
+	}
+	rt.commits.Store(int64(stats.Committed))
+	rt.seq.Store(maxSeq)
+
+	// --- Verify ---
+	sys := rt.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: recovered execution is malformed: %w", err)
+	}
+	verdict, err := front.Check(sys, front.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("sched: checking recovered execution: %w", err)
+	}
+	out := &Recovered{Runtime: rt, System: sys, Verdict: verdict, Stats: stats}
+	if !verdict.Correct {
+		return out, ErrRecoveredViolation
+	}
+	return out, nil
+}
+
+// opOf reconstructs the store operation a WAL record journaled.
+func opOf(rec wal.Record) data.Op {
+	return data.Op{Mode: data.Mode(rec.Mode), Item: rec.Item, Arg: rec.Arg, Impl: data.Mode(rec.Impl)}
+}

@@ -31,11 +31,13 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"compositetx/internal/data"
+	"compositetx/internal/wal"
 )
 
 // Protocol selects the concurrency-control discipline.
@@ -59,6 +61,17 @@ const (
 	// NoCC applies operations without any isolation.
 	NoCC
 )
+
+// ParseProtocol inverts Protocol.String — the form protocols take in
+// compsim flags and WAL metadata.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range []Protocol{OpenNested, ClosedNested, Global2PL, Hybrid, NoCC} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown protocol %q", s)
+}
 
 func (p Protocol) String() string {
 	switch p {
@@ -115,6 +128,26 @@ type Metrics struct {
 	InjectedFaults       int64 // faults fired by the injector across all sites
 	SubRetries           int64 // subtransaction-scoped local re-runs (OpenNested/Hybrid)
 	CompensationFailures int64 // compensations quarantined after the retry budget
+
+	// Durability counters (zero unless a WAL is attached / a crash fired).
+	WALRecords int64 // records journaled (including those recovered at open)
+	Crashes    int64 // simulated crashes (FaultCrash); at most 1 per runtime
+}
+
+// String renders the metrics as one key=value line (compsim's summary
+// format). Fault and durability counters appear only when nonzero.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commits=%d aborts=%d client-aborts=%d leaf-ops=%d invokes=%d lock-waits=%d",
+		m.Commits, m.Aborts, m.ClientAborts, m.LeafOps, m.Invokes, m.LockWaits)
+	if m.Timeouts+m.InjectedFaults+m.SubRetries+m.CompensationFailures > 0 {
+		fmt.Fprintf(&b, " timeouts=%d injected=%d sub-retries=%d comp-failures=%d",
+			m.Timeouts, m.InjectedFaults, m.SubRetries, m.CompensationFailures)
+	}
+	if m.WALRecords+m.Crashes > 0 {
+		fmt.Fprintf(&b, " wal-records=%d crashes=%d", m.WALRecords, m.Crashes)
+	}
+	return b.String()
 }
 
 // Runtime is a running composite system.
@@ -145,6 +178,12 @@ type Runtime struct {
 
 	qmu         sync.Mutex
 	quarantined []Quarantine
+
+	// Durability (nil wal = volatile runtime; see EnableWAL, Recover).
+	wal     *wal.Log
+	topo    *Topology   // retained for WAL metadata; nil when built via New with bare specs
+	crashed atomic.Bool // simulated-crash flag: every Submit drains with ErrCrashed
+	crashes atomic.Int64
 
 	// MaxRetries bounds retries per transaction (safety net; wait-die
 	// guarantees progress long before this).
@@ -191,11 +230,17 @@ func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 			modes = data.SemanticTable()
 		}
 		c := &component{name: spec.Name, modes: modes, lm: newLockManager()}
+		c.lm.crashed = &r.crashed
 		if spec.HasStore {
 			c.store = data.NewStore()
 		}
 		r.comps[spec.Name] = c
 	}
+	r.globalLM.crashed = &r.crashed
+	// Bare-specs topology, so a WAL can be attached to runtimes built
+	// without Topology.NewRuntime (which overwrites this with the full
+	// invocation graph).
+	r.topo = &Topology{Specs: append([]ComponentSpec(nil), specs...)}
 	return r
 }
 
@@ -212,8 +257,18 @@ func (r *Runtime) Store(name string) *data.Store {
 // Protocol returns the runtime's concurrency-control discipline.
 func (r *Runtime) Protocol() Protocol { return r.protocol }
 
-// Metrics returns a snapshot of the runtime counters.
+// Crashed reports whether a simulated crash (FaultCrash) has killed the
+// runtime; once true, every Submit returns ErrCrashed and the only way
+// forward is Recover on the WAL directory.
+func (r *Runtime) Crashed() bool { return r.crashed.Load() }
+
+// Metrics returns a snapshot of the runtime counters. The snapshot is
+// taken under the runtime mutex, so it is consistent with the committed
+// record (a commit counted here is visible to RecordedSystem and its WAL
+// batch is journaled).
 func (r *Runtime) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := Metrics{
 		Commits:              r.commits.Load(),
 		Aborts:               r.aborts.Load(),
@@ -224,6 +279,10 @@ func (r *Runtime) Metrics() Metrics {
 		InjectedFaults:       r.inj.total(),
 		SubRetries:           r.subRetries.Load(),
 		CompensationFailures: r.compFailures.Load(),
+		Crashes:              r.crashes.Load(),
+	}
+	if r.wal != nil {
+		m.WALRecords = int64(r.wal.Records())
 	}
 	m.LockWaits = r.globalLM.waitCount()
 	names := make([]string, 0, len(r.comps))

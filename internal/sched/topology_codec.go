@@ -47,10 +47,27 @@ func DecodeTopology(r io.Reader) (*Topology, error) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return nil, fmt.Errorf("sched: bad topology: %w", err)
 	}
+	return topologyFromDoc(doc, true)
+}
+
+// EncodeTopology writes the topology in the same JSON format
+// DecodeTopology reads. Mode tables round-trip as explicit conflict
+// pairs (behaviorally identical to the named tables they came from).
+func EncodeTopology(w io.Writer, t *Topology) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(topologyToDoc(t))
+}
+
+// topologyFromDoc validates and builds a Topology from its document
+// form. strict requires entry components (the compsim contract); the WAL
+// metadata path relaxes it, since runtimes built from bare specs have no
+// entries to persist.
+func topologyFromDoc(doc topologyJSON, strict bool) (*Topology, error) {
 	if len(doc.Components) == 0 {
 		return nil, fmt.Errorf("sched: topology has no components")
 	}
-	if len(doc.Entries) == 0 {
+	if strict && len(doc.Entries) == 0 {
 		return nil, fmt.Errorf("sched: topology has no entries")
 	}
 	t := &Topology{Children: doc.Children, Entries: doc.Entries}

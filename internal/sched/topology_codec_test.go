@@ -88,15 +88,20 @@ func TestDecodeTopologyCustomModes(t *testing.T) {
 
 func TestDecodeTopologyRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"empty":           `{}`,
-		"no entries":      `{"components":[{"name":"a"}]}`,
-		"dup component":   `{"components":[{"name":"a"},{"name":"a"}],"entries":["a"]}`,
-		"unknown entry":   `{"components":[{"name":"a"}],"entries":["b"]}`,
-		"unknown child":   `{"components":[{"name":"a"}],"children":{"a":["b"]},"entries":["a"]}`,
-		"self invocation": `{"components":[{"name":"a"}],"children":{"a":["a"]},"entries":["a"]}`,
-		"recursive":       `{"components":[{"name":"a"},{"name":"b"}],"children":{"a":["b"],"b":["a"]},"entries":["a"]}`,
-		"bad modes":       `{"components":[{"name":"a","modes":"quantum"}],"entries":["a"]}`,
-		"not json":        `nope`,
+		"empty":             `{}`,
+		"no entries":        `{"components":[{"name":"a"}]}`,
+		"empty name":        `{"components":[{"name":""}],"entries":[""]}`,
+		"dup component":     `{"components":[{"name":"a"},{"name":"a"}],"entries":["a"]}`,
+		"unknown entry":     `{"components":[{"name":"a"}],"entries":["b"]}`,
+		"unknown child":     `{"components":[{"name":"a"}],"children":{"a":["b"]},"entries":["a"]}`,
+		"unknown parent":    `{"components":[{"name":"a"}],"children":{"b":["a"]},"entries":["a"]}`,
+		"self invocation":   `{"components":[{"name":"a"}],"children":{"a":["a"]},"entries":["a"]}`,
+		"recursive":         `{"components":[{"name":"a"},{"name":"b"}],"children":{"a":["b"],"b":["a"]},"entries":["a"]}`,
+		"bad modes":         `{"components":[{"name":"a","modes":"quantum"}],"entries":["a"]}`,
+		"malformed modes":   `{"components":[{"name":"a","modes":{"conflicts":"x"}}],"entries":["a"]}`,
+		"not json":          `nope`,
+		"truncated json":    `{"components":[{"name":"a"`,
+		"truncated entries": `{"components":[{"name":"a"}],"entries":["a"`,
 	}
 	for name, in := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -104,5 +109,54 @@ func TestDecodeTopologyRejectsBadInput(t *testing.T) {
 				t.Fatalf("input %q must be rejected", in)
 			}
 		})
+	}
+}
+
+// TestEncodeTopologyRoundTrip: encode → decode must reproduce the
+// structure, and named mode tables must come back behaviorally identical
+// (they are persisted as explicit conflict pairs).
+func TestEncodeTopologyRoundTrip(t *testing.T) {
+	orig, err := DecodeTopology(strings.NewReader(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := EncodeTopology(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTopology(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-decoding the encoded topology: %v\n%s", err, buf.String())
+	}
+	if len(back.Specs) != len(orig.Specs) || len(back.Entries) != len(orig.Entries) {
+		t.Fatalf("shape lost: %d/%d specs, %d/%d entries",
+			len(back.Specs), len(orig.Specs), len(back.Entries), len(orig.Entries))
+	}
+	for i, o := range orig.Specs {
+		b := back.Specs[i]
+		if b.Name != o.Name || b.HasStore != o.HasStore {
+			t.Fatalf("spec %d: %+v != %+v", i, b, o)
+		}
+		modes := func(s ComponentSpec) *data.ModeTable {
+			if s.Modes != nil {
+				return s.Modes
+			}
+			return data.SemanticTable()
+		}
+		om, bm := modes(o), modes(b)
+		for _, pair := range [][2]data.Mode{
+			{data.ModeRead, data.ModeWrite}, {data.ModeRead, data.ModeIncr},
+			{data.ModeWrite, data.ModeWrite}, {data.ModeIncr, data.ModeIncr},
+			{data.ModeWithdraw, data.ModeWithdraw}, {data.ModeAudit, data.ModeDeposit},
+		} {
+			if om.ModeConflicts(pair[0], pair[1]) != bm.ModeConflicts(pair[0], pair[1]) {
+				t.Fatalf("spec %q: conflict %v lost in the roundtrip", o.Name, pair)
+			}
+		}
+	}
+	for parent, kids := range orig.Children {
+		if got := back.Children[parent]; len(got) != len(kids) {
+			t.Fatalf("children of %q lost: %v != %v", parent, got, kids)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"compositetx/internal/data"
 	"compositetx/internal/model"
+	"compositetx/internal/wal"
 )
 
 // Step is one operation of a transaction program: either a leaf operation
@@ -87,6 +88,7 @@ type undoEntry struct {
 	comp  string
 	op    data.Op
 	res   data.Result
+	lsn   uint64 // WAL position of the TypeApply record (0 = not journaled)
 }
 
 // snapshot marks a point in the attempt's logs, so a faulted
@@ -108,10 +110,28 @@ func (a *attempt) snapshot() snapshot {
 
 // Submit runs the program as a root transaction, retrying on wait-die
 // sacrifices, recovered injected faults, and deadline expiries until it
-// commits. It is safe to call from many goroutines.
-func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
+// commits. It is safe to call from many goroutines. After a simulated
+// crash (FaultCrash) every Submit — in flight or new — returns
+// ErrCrashed; the abandoned state is Recover's job.
+func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error) {
 	if _, ok := r.comps[root.Component]; !ok {
 		return nil, fmt.Errorf("sched: unknown component %q", root.Component)
+	}
+	// A crash unwinds the crashing attempt's stack with crashPanic:
+	// convert it to ErrCrashed here, deliberately skipping every rollback
+	// and lock release on the way out — a crashed process does not get to
+	// compensate anything.
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(crashPanic); ok {
+				res, err = nil, ErrCrashed
+				return
+			}
+			panic(p)
+		}
+	}()
+	if r.crashed.Load() {
+		return nil, ErrCrashed
 	}
 	ts := r.tsc.Add(1)
 	rootID := model.NodeID(name)
@@ -132,6 +152,20 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
 		err := r.exec(a, rootID, string(rootID), root, deadline)
 		if err == nil {
+			// Crash site "commit": fires before the commit batch is
+			// journaled, so recovery must undo this transaction.
+			r.fireCrash("", string(rootID), "commit", nil)
+			if jerr := r.journalCommit(a); jerr != nil {
+				if errors.Is(jerr, ErrCrashed) {
+					return nil, ErrCrashed
+				}
+				r.rollback(a)
+				return nil, jerr
+			}
+			// Crash site "post-commit": the commit record is durable but
+			// locks are abandoned and the record never merged — recovery
+			// must redo this transaction from the log alone.
+			r.fireCrash("", string(rootID), "post-commit", nil)
 			// Root commit: release every lock and publish the record.
 			for i := len(a.owners) - 1; i >= 0; i-- {
 				a.owners[i].lm.release(a.owners[i].owner)
@@ -143,6 +177,12 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 			r.commits.Add(1)
 			return &TxResult{Root: rootID, Retries: retries, Values: a.values}, nil
 		}
+		if errors.Is(err, ErrCrashed) {
+			// A crash observed mid-attempt (drained lock wait, closed
+			// log, step-loop check): abandon without rollback, exactly
+			// like the crashing attempt itself.
+			return nil, ErrCrashed
+		}
 		r.rollback(a)
 		switch {
 		case errors.Is(err, ErrDie):
@@ -153,18 +193,21 @@ func (r *Runtime) Submit(name string, root Invocation) (*TxResult, error) {
 			// A client-supplied deadline is final; an OpTimeout window
 			// renews per attempt.
 			if !root.Deadline.IsZero() && !time.Now().Before(root.Deadline) {
+				r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
 				return nil, err
 			}
 		default:
 			if errors.Is(err, ErrClientAbort) {
 				r.clientAborts.Add(1)
 			}
+			r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
 			return nil, err
 		}
 		retries++
 		// The budget check precedes the backoff: the final failed attempt
 		// returns immediately instead of sleeping first.
 		if retries > r.MaxRetries {
+			r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
 			return nil, fmt.Errorf("%w (last abort: %v)", ErrTooManyRetries, err)
 		}
 		// Jittered exponential backoff before retrying with the same
@@ -225,6 +268,23 @@ func (r *Runtime) compensate(a *attempt, from int) {
 		if !ok {
 			continue
 		}
+		// Write-ahead compensation: the inverse is journaled before it
+		// executes, so after a crash the log never under-reports undone
+		// work (an over-reported compensation that never ran re-runs at
+		// recovery — compensations here are idempotent restores/negations
+		// over a store rebuilt from the log, so replaying is safe).
+		if u.lsn != 0 {
+			if _, jerr := r.journal(wal.Record{
+				Type: wal.TypeComp, Txn: string(a.root), Comp: u.comp,
+				Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
+				Arg: inv.Arg, Ref: u.lsn,
+			}); jerr != nil {
+				// The log is gone (crash) or unwritable: the process is
+				// effectively dead, recovery owns the remaining undo.
+				a.undo = a.undo[:from]
+				return
+			}
+		}
 		var err error
 		for try := 0; try <= compensationRetries; try++ {
 			if try > 0 {
@@ -239,6 +299,12 @@ func (r *Runtime) compensate(a *attempt, from int) {
 			}
 		}
 		if err != nil {
+			if u.lsn != 0 {
+				// Supersede the journaled compensation: it never took
+				// effect, recovery must keep the forward effect leaked
+				// and re-report the quarantine.
+				r.journal(wal.Record{Type: wal.TypeQuarantine, Txn: string(a.root), Ref: u.lsn})
+			}
 			r.quarantine(Quarantine{Component: u.comp, Txn: string(a.root), Op: u.op, Err: err})
 		}
 	}
@@ -263,6 +329,9 @@ func (r *Runtime) exec(a *attempt, node model.NodeID, owner string, inv Invocati
 	stepOwner := r.lockOwner(a, comp, owner)
 
 	for i, step := range inv.Steps {
+		if r.crashed.Load() {
+			return ErrCrashed
+		}
 		childID := model.NodeID(fmt.Sprintf("%s/%d", node, i+1))
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			r.timeouts.Add(1)
@@ -346,12 +415,35 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 			return err
 		}
 	}
+	// Write-ahead journal (mutations only): the apply record — with the
+	// before-value recovery needs to invert it — precedes the store
+	// mutation. The leaf crash site sits exactly on this boundary, so
+	// FaultCrash can strand the log mid-append (CrashTear's torn record)
+	// or between journal and apply.
+	var lsn uint64
+	if op.Physical() != data.ModeRead {
+		rec := wal.Record{
+			Type: wal.TypeApply, Txn: string(a.root), Node: string(id),
+			Comp: comp.name, Item: op.Item, Mode: string(op.Mode), Impl: string(op.Impl),
+			Arg: op.Arg, Prev: comp.store.Get(op.Item),
+		}
+		r.fireCrash(comp.name, string(a.root), string(id), &rec)
+		var jerr error
+		if lsn, jerr = r.journal(rec); jerr != nil {
+			return jerr
+		}
+	}
 	res, err := comp.store.Apply(op)
 	if err != nil {
+		if lsn != 0 {
+			// The journaled apply never executed: append a cancellation
+			// so recovery does not replay it.
+			r.journal(wal.Record{Type: wal.TypeApplyFail, Txn: string(a.root), Ref: lsn})
+		}
 		return fmt.Errorf("sched: apply %s at %s: %w", op, id, err)
 	}
 	r.leafOps.Add(1)
-	a.undo = append(a.undo, undoEntry{store: comp.store, comp: comp.name, op: op, res: res})
+	a.undo = append(a.undo, undoEntry{store: comp.store, comp: comp.name, op: op, res: res, lsn: lsn})
 	if op.Physical() == data.ModeRead {
 		a.values = append(a.values, res.Value)
 	}

@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"compositetx/internal/wal"
+)
+
+// Durability wiring: with a WAL attached (EnableWAL), the runtime journals
+// every state mutation *before* performing it — write-ahead applies with
+// their undo values, write-ahead compensations, and at root commit the
+// whole staged record (nodes, events, commit marker) as one contiguous
+// batch. The in-memory stores and recorder stay volatile; the log is the
+// single source of truth a crash leaves behind, and Recover (recover.go)
+// rebuilds both halves from it.
+
+// WALConfig configures the runtime's write-ahead log.
+type WALConfig struct {
+	// Dir is the log directory (created if absent). An existing non-empty
+	// log is rejected with ErrWALExists: a runtime only ever appends to a
+	// log it started, and Recover owns reopening.
+	Dir string
+	// SyncEvery is the group-commit knob (see wal.Options.SyncEvery):
+	// 0/1 fsync every record, N>1 every Nth, negative never.
+	SyncEvery int
+	// SegmentBytes rotates segment files at this size (0 = 8 MiB).
+	SegmentBytes int64
+}
+
+// Typed durability errors.
+var (
+	// ErrCrashed is returned by Submit (and drained lock waits) after a
+	// simulated process crash (FaultCrash): the attempt is abandoned
+	// without rollback, exactly as a real crash would leave it, and the
+	// WAL is the only surviving state.
+	ErrCrashed = errors.New("sched: runtime crashed")
+	// ErrWALExists rejects EnableWAL on a directory that already holds
+	// records; recover it instead of appending to it blind.
+	ErrWALExists = errors.New("sched: WAL directory already holds a log")
+)
+
+// walMeta is the TypeMeta payload: enough configuration to rebuild the
+// runtime at recovery without any state beside the log directory.
+type walMeta struct {
+	Version  int          `json:"version"`
+	Protocol string       `json:"protocol"`
+	Topology topologyJSON `json:"topology"`
+}
+
+// EnableWAL attaches a fresh write-ahead log to the runtime: a metadata
+// record (protocol + topology) followed by one seed record per existing
+// store item, fsynced before the first transaction can touch it. Call
+// after seeding stores and before submitting transactions.
+func (r *Runtime) EnableWAL(cfg WALConfig) error {
+	l, existing, err := wal.Open(cfg.Dir, wal.Options{SyncEvery: cfg.SyncEvery, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		return err
+	}
+	if existing > 0 {
+		l.Close()
+		return fmt.Errorf("%w: %q holds %d records", ErrWALExists, cfg.Dir, existing)
+	}
+	meta := walMeta{Version: 1, Protocol: r.protocol.String(), Topology: topologyToDoc(r.topo)}
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	if _, err := l.Append(wal.Record{Type: wal.TypeMeta, Meta: blob}); err != nil {
+		l.Close()
+		return err
+	}
+	// Seed baseline: deterministic (sorted) order so identical setups
+	// produce identical logs.
+	names := make([]string, 0, len(r.comps))
+	for n := range r.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := r.comps[n]
+		if c.store == nil {
+			continue
+		}
+		snap := c.store.Snapshot()
+		items := make([]string, 0, len(snap))
+		for it := range snap {
+			items = append(items, it)
+		}
+		sort.Strings(items)
+		for _, it := range items {
+			if _, err := l.Append(wal.Record{Type: wal.TypeSeed, Comp: n, Item: it, Prev: snap[it]}); err != nil {
+				l.Close()
+				return err
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		l.Close()
+		return err
+	}
+	r.wal = l
+	return nil
+}
+
+// CloseWAL flushes and closes the log (a clean shutdown; the log stays
+// recoverable and replayable).
+func (r *Runtime) CloseWAL() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Close()
+}
+
+// WALRecords returns the number of records journaled so far (0 without a
+// WAL).
+func (r *Runtime) WALRecords() uint64 {
+	if r.wal == nil {
+		return 0
+	}
+	return r.wal.Records()
+}
+
+// journal appends one record when a WAL is attached. An append against a
+// crash-abandoned log surfaces as ErrCrashed so the transaction drains
+// like every other participant of the crash.
+func (r *Runtime) journal(rec wal.Record) (uint64, error) {
+	if r.wal == nil {
+		return 0, nil
+	}
+	lsn, err := r.wal.Append(rec)
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return 0, ErrCrashed
+		}
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// journalBatch appends records contiguously (commit batches).
+func (r *Runtime) journalBatch(recs []wal.Record) error {
+	if r.wal == nil {
+		return nil
+	}
+	if _, err := r.wal.AppendBatch(recs); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrCrashed
+		}
+		return err
+	}
+	return nil
+}
+
+// journalCommit journals a committing attempt's staged record — every
+// node declaration and event, terminated by the commit marker — as one
+// contiguous batch. A transaction is recovered as committed iff the
+// commit marker survives; the batch being contiguous and the log being
+// flushed in order means a durable commit marker implies the durable
+// presence of everything it covers.
+func (r *Runtime) journalCommit(a *attempt) error {
+	if r.wal == nil {
+		return nil
+	}
+	txn := string(a.root)
+	recs := make([]wal.Record, 0, len(a.stage.nodes)+len(a.stage.events)+1)
+	for _, n := range a.stage.nodes {
+		recs = append(recs, wal.Record{
+			Type: wal.TypeNode, Txn: txn,
+			Node: string(n.id), Parent: string(n.parent), Sched: n.sched,
+		})
+	}
+	for _, e := range a.stage.events {
+		recs = append(recs, wal.Record{
+			Type: wal.TypeEvent, Txn: txn,
+			Node: string(e.op), Parent: string(e.parentTx),
+			Comp: e.comp, Item: e.item, Mode: string(e.mode), Seq: e.seq,
+		})
+	}
+	recs = append(recs, wal.Record{Type: wal.TypeCommit, Txn: txn})
+	return r.journalBatch(recs)
+}
+
+// crashPanic unwinds the crashing attempt's stack; Submit's deferred
+// recover converts it to ErrCrashed. Any other panic value keeps
+// propagating.
+type crashPanic struct{}
+
+// crashNow simulates a process crash at the current point: the runtime's
+// crash flag flips (every other Submit drains via lock-wait and step-loop
+// checks), the WAL is abandoned exactly as the OS would leave it (the
+// unsynced buffer is lost; torn, when non-nil, remains as a half-written
+// record), all lock managers wake their sleepers, and the calling attempt
+// unwinds without any rollback — its locks stay abandoned, its applied
+// operations stay in the stores, just like a real crash. Never returns.
+func (r *Runtime) crashNow(torn *wal.Record) {
+	if r.crashed.CompareAndSwap(false, true) {
+		r.crashes.Add(1)
+		if r.wal != nil {
+			r.wal.Abandon(torn)
+		}
+		r.globalLM.wake()
+		for _, c := range r.comps {
+			c.lm.wake()
+		}
+	}
+	panic(crashPanic{})
+}
+
+// fireCrash checks the crash fault site (comp, txn, step) and, when it
+// fires, crashes the runtime. tearing selects the mid-WAL-append variant:
+// rec is left half-written at the log tail.
+func (r *Runtime) fireCrash(comp, txn, step string, rec *wal.Record) {
+	if r.inj == nil || !r.inj.fire(FaultCrash, comp, txn, step) {
+		return
+	}
+	if rec != nil && r.inj.tear() {
+		r.crashNow(rec)
+	}
+	r.crashNow(nil)
+}
+
+// topologyToDoc serializes the runtime's topology for the WAL metadata
+// record. Mode tables are written as explicit conflict pairs (the custom
+// form), which decode to behaviorally identical tables.
+func topologyToDoc(t *Topology) topologyJSON {
+	var doc topologyJSON
+	if t == nil {
+		return doc
+	}
+	for _, s := range t.Specs {
+		cj := componentJSON{Name: s.Name, Store: s.HasStore}
+		if s.Modes != nil {
+			pairs := s.Modes.Pairs()
+			conflicts := make([][2]string, len(pairs))
+			for i, p := range pairs {
+				conflicts[i] = [2]string{string(p[0]), string(p[1])}
+			}
+			raw, err := json.Marshal(customModesJSON{Conflicts: conflicts})
+			if err != nil {
+				panic(fmt.Sprintf("sched: encoding modes of %q: %v", s.Name, err))
+			}
+			cj.Modes = raw
+		}
+		doc.Components = append(doc.Components, cj)
+	}
+	doc.Children = t.Children
+	doc.Entries = t.Entries
+	return doc
+}

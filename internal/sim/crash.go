@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compositetx/internal/data"
+	"compositetx/internal/sched"
+	"compositetx/internal/wal"
+)
+
+// E11 — the crash matrix: crash site × topology × protocol. Every cell
+// runs a balanced-transfer workload against a WAL-backed runtime, kills
+// the process at the site (FaultCrash, including the mid-WAL-append torn
+// variant), recovers from the log directory alone, and checks the two
+// things durability owes the paper's model: the recovered committed
+// execution passes the Comp-C reduction, and escrow conservation holds —
+// transfers are atomic across the crash (undone or redone, never half).
+
+// crashSiteSpec is one column of the crash matrix.
+type crashSiteSpec struct {
+	name string
+	step string // Trigger.Step: a leaf node ID, "commit", or "post-commit"
+	tear bool   // abandon the WAL mid-append (torn record at the tail)
+}
+
+// crashTopo bundles a topology with its transfer workload and the leaf
+// node ID of the crash transaction's second transfer leg (the point where
+// the transfer is half-journaled).
+type crashTopo struct {
+	name     string
+	mk       func() *sched.Topology
+	programs func(n int) []sched.Invocation
+	seed     func(rt *sched.Runtime, initial int64)
+	leafStep string
+}
+
+// crashTxn is the transaction the deterministic triggers target; the
+// workload must be large enough to reach it.
+const crashTxn = "T13"
+
+func transferLeg(comp, item string, amt int64) sched.Step {
+	return sched.Step{Invoke: &sched.Invocation{Component: comp, Item: item, Mode: data.ModeIncr,
+		Steps: []sched.Step{{Op: &data.Op{Mode: data.ModeIncr, Item: item, Arg: amt}}}}}
+}
+
+func crashTopos() []crashTopo {
+	return []crashTopo{
+		{
+			name: "stack(3)",
+			mk:   func() *sched.Topology { return sched.StackTopology(3) },
+			seed: func(rt *sched.Runtime, initial int64) { rt.Store("C3").Set("src", initial) },
+			programs: func(n int) []sched.Invocation {
+				progs := make([]sched.Invocation, n)
+				for i := range progs {
+					amt := int64(i%7 + 1)
+					mode, body := data.ModeIncr, []sched.Step{
+						{Op: &data.Op{Mode: data.ModeIncr, Item: "src", Arg: -amt}},
+						{Op: &data.Op{Mode: data.ModeIncr, Item: "dst", Arg: amt}},
+					}
+					if i%5 == 4 { // audit: reads conflict with increments
+						mode, body = data.ModeRead, []sched.Step{
+							{Op: &data.Op{Mode: data.ModeRead, Item: "src"}},
+							{Op: &data.Op{Mode: data.ModeRead, Item: "dst"}},
+						}
+					}
+					progs[i] = sched.Invocation{Component: "C1", Steps: []sched.Step{
+						{Invoke: &sched.Invocation{Component: "C2", Item: "acct", Mode: mode,
+							Steps: []sched.Step{{Invoke: &sched.Invocation{
+								Component: "C3", Item: "acct", Mode: mode, Steps: body,
+							}}}}},
+					}}
+				}
+				return progs
+			},
+			// T13: root -> C2 (T13/1) -> C3 (T13/1/1) -> second leaf.
+			leafStep: "T13/1/1/2",
+		},
+		{
+			name: "bank",
+			mk:   sched.BankTopology,
+			seed: func(rt *sched.Runtime, initial int64) { rt.Store("east").Set("acct", initial) },
+			programs: func(n int) []sched.Invocation {
+				progs := make([]sched.Invocation, n)
+				for i := range progs {
+					amt := int64(i%7 + 1)
+					if i%5 == 4 {
+						progs[i] = sched.Invocation{Component: "bank", Steps: []sched.Step{
+							{Invoke: &sched.Invocation{Component: "east", Item: "acct", Mode: data.ModeRead,
+								Steps: []sched.Step{{Op: &data.Op{Mode: data.ModeRead, Item: "acct"}}}}},
+						}}
+						continue
+					}
+					progs[i] = sched.Invocation{Component: "bank", Steps: []sched.Step{
+						transferLeg("east", "acct", -amt),
+						transferLeg("west", "acct", amt),
+					}}
+				}
+				return progs
+			},
+			leafStep: "T13/2/1",
+		},
+		{
+			name: "diamond",
+			mk:   sched.DiamondTopology,
+			seed: func(rt *sched.Runtime, initial int64) { rt.Store("ledger").Set("pool", initial) },
+			programs: func(n int) []sched.Invocation {
+				progs := make([]sched.Invocation, n)
+				for i := range progs {
+					amt := int64(i%7 + 1)
+					entry, from, to := "agencyA", "pool", "pool2"
+					if i%2 == 1 {
+						entry, from, to = "agencyB", "pool2", "pool"
+					}
+					if i%5 == 4 {
+						progs[i] = sched.Invocation{Component: entry, Steps: []sched.Step{
+							{Invoke: &sched.Invocation{Component: "ledger", Item: from, Mode: data.ModeRead,
+								Steps: []sched.Step{{Op: &data.Op{Mode: data.ModeRead, Item: from}}}}},
+						}}
+						continue
+					}
+					progs[i] = sched.Invocation{Component: entry, Steps: []sched.Step{
+						transferLeg("ledger", from, -amt),
+						transferLeg("ledger", to, amt),
+					}}
+				}
+				return progs
+			},
+			// T13 = programs[12]: agencyA -> ledger second leg's leaf.
+			leafStep: "T13/2/1",
+		},
+	}
+}
+
+// runCrashCell drains the workload through a crash-tolerant client pool.
+func runCrashCell(rt *sched.Runtime, progs []sched.Invocation, clients int) (commits int, runErr error) {
+	var ok atomic.Int64
+	var firstErr atomic.Value
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				_, err := rt.Submit(fmt.Sprintf("T%d", i+1), progs[i])
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, sched.ErrCrashed):
+				default:
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	for i := range progs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if e, _ := firstErr.Load().(error); e != nil {
+		return int(ok.Load()), e
+	}
+	return int(ok.Load()), nil
+}
+
+// storeTotal sums every item of every component store.
+func storeTotal(rt *sched.Runtime, topo *sched.Topology) int64 {
+	var total int64
+	for _, spec := range topo.Specs {
+		s := rt.Store(spec.Name)
+		if s == nil {
+			continue
+		}
+		for _, v := range s.Snapshot() {
+			total += v
+		}
+	}
+	return total
+}
+
+// E11CrashMatrix runs the crash matrix and renders one row per cell.
+func E11CrashMatrix(cfg RunConfig) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  fmt.Sprintf("Crash matrix: WAL recovery at every crash site (%d txs, %d clients per cell)", cfg.Roots, cfg.Clients),
+		Header: []string{"site", "topology", "protocol", "committed", "redone", "undone", "torn B", "conservation", "verdict"},
+	}
+	protos := []sched.Protocol{sched.Hybrid, sched.ClosedNested, sched.Global2PL}
+	const initial = 100000
+	for _, tc := range crashTopos() {
+		sites := []crashSiteSpec{
+			{"leaf", tc.leafStep, false},
+			{"leaf-torn", tc.leafStep, true},
+			{"commit", "commit", false},
+			{"post-commit", "post-commit", false},
+		}
+		for _, site := range sites {
+			for _, p := range protos {
+				row, err := runE11Cell(tc, site, p, cfg, initial)
+				if err != nil {
+					t.AddRow(site.name, tc.name, p.String(), "error", "-", "-", "-", "-", err.Error())
+					continue
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	t.Note = "expected: every cell recovers to a Comp-C-correct committed execution with the transfer " +
+		"sum conserved — a crash before the commit record undoes the transaction, after it redoes it, " +
+		"and a torn mid-append record is truncated at recovery, never replayed"
+	return t
+}
+
+func runE11Cell(tc crashTopo, site crashSiteSpec, p sched.Protocol, cfg RunConfig, initial int64) ([]any, error) {
+	dir, err := os.MkdirTemp("", "compositetx-e11-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	topo := tc.mk()
+	rt := topo.NewRuntime(p)
+	tc.seed(rt, initial)
+	if err := rt.EnableWAL(sched.WALConfig{Dir: dir}); err != nil {
+		return nil, err
+	}
+	rt.SetFaults(sched.FaultPlan{
+		Triggers:  []sched.Trigger{{Site: sched.FaultCrash, Txn: crashTxn, Step: site.step}},
+		CrashTear: site.tear,
+	})
+	progs := tc.programs(cfg.Roots)
+	if cfg.StepDelay > 0 {
+		progs = sched.Jitter(progs, cfg.StepDelay, cfg.Seed)
+	}
+	if _, err := runCrashCell(rt, progs, cfg.Clients); err != nil {
+		return nil, err
+	}
+	if !rt.Crashed() {
+		return nil, fmt.Errorf("crash trigger at %q never fired", site.step)
+	}
+	rec, err := sched.Recover(sched.WALConfig{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer rec.Runtime.CloseWAL()
+	if site.tear && rec.Stats.TornBytes == 0 {
+		return nil, fmt.Errorf("torn-record cell recovered without torn bytes")
+	}
+	conservation := "conserved"
+	if got := storeTotal(rec.Runtime, topo); got != initial {
+		conservation = fmt.Sprintf("VIOLATED (%+d)", got-initial)
+	}
+	verdict := "Comp-C"
+	if !rec.Verdict.Correct {
+		verdict = "VIOLATION (Comp-C)"
+	}
+	return []any{
+		site.name, tc.name, p.String(),
+		rec.Stats.Committed, rec.Stats.Redone, rec.Stats.Undone, rec.Stats.TornBytes,
+		conservation, verdict,
+	}, nil
+}
+
+// DefaultCrashConfig sizes E11 for compbench: enough transactions to put
+// real concurrent work in flight at the crash, across 36 cells.
+func DefaultCrashConfig() RunConfig {
+	return RunConfig{
+		Roots: 40, StepsPerTx: 2, Items: 2, Clients: 6,
+		ReadRatio: 0.2, WriteRatio: 0, StepDelay: 60 * time.Microsecond,
+		Seed: 19,
+	}
+}
+
+// WALBenchmarks times the durability path for BENCH_checker.json: append
+// throughput across the group-commit settings, and full crash recovery
+// (read + redo/undo + Comp-C re-check) at two log sizes.
+func WALBenchmarks() []BenchResult {
+	const minDur = 100 * time.Millisecond
+	var out []BenchResult
+
+	rec := wal.Record{
+		Type: wal.TypeApply, Txn: "T42", Node: "T42/1/1", Comp: "east",
+		Item: "acct", Mode: "incr", Impl: "incr", Arg: -25, Prev: 975,
+	}
+	for _, bc := range []struct {
+		name string
+		sync int
+	}{
+		{"sync=1", 1},
+		{"sync=64", 64},
+		{"sync=none", -1},
+	} {
+		dir, err := os.MkdirTemp("", "compositetx-walbench-*")
+		if err != nil {
+			panic(err)
+		}
+		l, _, err := wal.Open(dir, wal.Options{SyncEvery: bc.sync})
+		if err != nil {
+			panic(err)
+		}
+		ns := timeOp(minDur, func() {
+			if _, err := l.Append(rec); err != nil {
+				panic(err)
+			}
+		})
+		records := float64(l.Records())
+		l.Close()
+		os.RemoveAll(dir)
+		out = append(out, BenchResult{
+			Name:    "BenchmarkWALAppend/" + bc.name,
+			NsPerOp: ns,
+			Metrics: map[string]float64{"records": records},
+		})
+	}
+
+	for _, roots := range []int{32, 128} {
+		dir, err := os.MkdirTemp("", "compositetx-recbench-*")
+		if err != nil {
+			panic(err)
+		}
+		topo := sched.BankTopology()
+		rt := topo.NewRuntime(sched.Hybrid)
+		rt.Store("east").Set("acct", 100000)
+		if err := rt.EnableWAL(sched.WALConfig{Dir: dir, SyncEvery: 64}); err != nil {
+			panic(err)
+		}
+		for i := 0; i < roots; i++ {
+			amt := int64(i%7 + 1)
+			prog := sched.Invocation{Component: "bank", Steps: []sched.Step{
+				transferLeg("east", "acct", -amt),
+				transferLeg("west", "acct", amt),
+			}}
+			if _, err := rt.Submit(fmt.Sprintf("T%d", i+1), prog); err != nil {
+				panic(err)
+			}
+		}
+		if err := rt.CloseWAL(); err != nil {
+			panic(err)
+		}
+		var records float64
+		ns := timeOp(minDur, func() {
+			r, err := sched.Recover(sched.WALConfig{Dir: dir})
+			if err != nil {
+				panic(err)
+			}
+			records = float64(r.Stats.Records)
+			r.Runtime.CloseWAL()
+		})
+		os.RemoveAll(dir)
+		out = append(out, BenchResult{
+			Name:    fmt.Sprintf("BenchmarkRecovery/roots=%d", roots),
+			NsPerOp: ns,
+			Metrics: map[string]float64{"records": records},
+		})
+	}
+	return out
+}

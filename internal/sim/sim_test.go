@@ -153,6 +153,25 @@ func TestE10ChaosRecoversEverywhere(t *testing.T) {
 	}
 }
 
+func TestE11CrashMatrixRecoversEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix fsyncs a WAL per cell; skipped in -short")
+	}
+	cfg := RunConfig{Roots: 24, Clients: 4, Seed: 19}
+	tab := E11CrashMatrix(cfg)
+	if len(tab.Rows) != 36 {
+		t.Fatalf("rows = %d, want 36 (4 sites x 3 topologies x 3 protocols)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if v := row[len(row)-1]; v != "Comp-C" {
+			t.Fatalf("crash cell did not recover to a correct execution: %v", row)
+		}
+		if c := row[len(row)-2]; c != "conserved" {
+			t.Fatalf("crash cell broke escrow conservation: %v", row)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}, Note: "n"}
 	tab.AddRow(1, "x")

@@ -1,6 +1,6 @@
 // Package sim is the experiment harness: it regenerates every artifact in
 // the reproduction's experiment index (DESIGN.md §6, EXPERIMENTS.md) as a
-// formatted table (E1–E9). The cmd/compbench tool and the top-level benchmarks are
+// formatted table (E1–E11). The cmd/compbench tool and the top-level benchmarks are
 // thin wrappers around this package.
 package sim
 

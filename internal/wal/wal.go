@@ -1,0 +1,461 @@
+// Package wal is the durable write-ahead log behind the composite
+// runtime's crash recovery: an append-only, segmented, CRC-checked record
+// log. The runtime (internal/sched) journals store applies, compensations
+// and committed execution records through it before mutating volatile
+// state, so a crash-abandoned run can be rebuilt — redo the committed
+// work, undo the incomplete rest — and re-verified against Comp-C.
+//
+// Format. A log is a directory of segment files 00000001.seg, 00000002.seg,
+// ... Each segment starts with an 8-byte magic and holds framed records:
+//
+//	[len uint32][crc32 uint32][body]   body = type byte + fields
+//
+// The CRC (IEEE, over the body) makes torn tails detectable: a crash may
+// leave a half-written frame at the end of the last segment, which Open
+// truncates and ReadAll skips. A bad frame anywhere else is corruption and
+// is reported as an error, never silently dropped.
+//
+// Durability. Appends are buffered; Options.SyncEvery is the group-commit
+// knob (fsync every Nth record). Abandon simulates a crash for tests and
+// fault injection: buffered-but-unsynced bytes are dropped — exactly the
+// OS-cache loss window group commit trades away — and an optional torn
+// frame is left at the tail.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	segMagic = "CTXWAL01"
+
+	// defaultSegmentBytes rotates segments at 8 MiB.
+	defaultSegmentBytes = 8 << 20
+
+	// maxRecordBytes bounds a frame so a corrupt length field cannot
+	// force a giant allocation.
+	maxRecordBytes = 1 << 26
+
+	frameHeaderLen = 8
+)
+
+// ErrClosed is returned by appends to a closed or crash-abandoned log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options configures a log.
+type Options struct {
+	// SyncEvery is the group-commit knob: fsync after every Nth appended
+	// record. 0 and 1 sync every record (maximum durability, the
+	// default); N>1 amortizes the fsync over N records and can lose the
+	// most recent unsynced records on a crash (recovery stays consistent,
+	// it just sees a shorter history); negative values never fsync
+	// (benchmark baseline; the OS still gets every flushed byte).
+	SyncEvery int
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size (0 = 8 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) normalized() Options {
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 1
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	return o
+}
+
+// ScanInfo summarizes a ReadAll pass.
+type ScanInfo struct {
+	Segments  int
+	Records   int
+	TornBytes int64 // bytes of torn tail found (and skipped) in the last segment
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; records are totally ordered by their returned LSN.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f   *os.File
+	seg int // current segment index (1-based)
+
+	buf      []byte // unflushed frames (the "OS would lose this" window is synced..size)
+	size     int64  // segment offset including buffered bytes
+	flushed  int64  // segment offset written to the file
+	synced   int64  // segment offset known durable (fsynced)
+	scratch  []byte // reusable encode buffer
+	lsn      uint64 // records appended over the log's lifetime
+	sinceSyn int
+
+	closed bool
+}
+
+// Open opens (creating if necessary) the log in dir and positions it for
+// appending. Existing segments are scanned, a torn tail on the last
+// segment is physically truncated, and the number of valid existing
+// records is returned (0 means a fresh log).
+func Open(dir string, opts Options) (*Log, uint64, error) {
+	if dir == "" {
+		return nil, 0, errors.New("wal: empty directory")
+	}
+	opts = opts.normalized()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(segs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, 0, err
+		}
+		return l, 0, nil
+	}
+	var count uint64
+	for i, path := range segs {
+		last := i == len(segs)-1
+		n, validOff, _, err := scanSegment(path, last, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		count += n
+		if !last {
+			continue
+		}
+		if err := os.Truncate(path, validOff); err != nil {
+			return nil, 0, err
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := f.Seek(validOff, 0); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		l.f = f
+		l.seg = segIndex(path)
+		l.size, l.flushed, l.synced = validOff, validOff, validOff
+	}
+	l.lsn = count
+	return l, count, nil
+}
+
+// ReadAll scans every record of the log in dir without opening it for
+// appending. A torn tail on the last segment is reported in ScanInfo and
+// skipped; corruption anywhere else is an error.
+func ReadAll(dir string) ([]Record, ScanInfo, error) {
+	var info ScanInfo
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	if len(segs) == 0 {
+		return nil, info, fmt.Errorf("wal: no log segments in %q", dir)
+	}
+	info.Segments = len(segs)
+	var recs []Record
+	for i, path := range segs {
+		last := i == len(segs)-1
+		n, _, torn, err := scanSegment(path, last, func(r Record) {
+			recs = append(recs, r)
+		})
+		if err != nil {
+			return nil, info, err
+		}
+		info.Records += int(n)
+		if last {
+			info.TornBytes = torn
+		}
+	}
+	return recs, info, nil
+}
+
+// Append journals one record, returning its LSN (1-based, monotone across
+// segments). Durability follows Options.SyncEvery.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(rec)
+}
+
+// AppendBatch journals the records contiguously (no interleaving with
+// concurrent appenders) and returns the LSN of the first. The commit
+// batches of the runtime use this so a commit record always directly
+// follows its node and event records.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var first uint64
+	for i, rec := range recs {
+		lsn, err := l.appendLocked(rec)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			first = lsn
+		}
+	}
+	return first, nil
+}
+
+func (l *Log) appendLocked(rec Record) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.scratch = appendBody(l.scratch[:0], rec)
+	body := l.scratch
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, body...)
+	l.size += int64(frameHeaderLen + len(body))
+	l.lsn++
+	l.sinceSyn++
+	if l.opts.SyncEvery > 0 && l.sinceSyn >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return l.lsn, nil
+}
+
+// Sync flushes buffered frames and fsyncs the current segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.flushed = l.size
+	l.buf = l.buf[:0]
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if l.synced == l.flushed {
+		l.sinceSyn = 0
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.synced = l.flushed
+	l.sinceSyn = 0
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.createSegment(l.seg + 1)
+}
+
+func (l *Log) createSegment(idx int) error {
+	path := filepath.Join(l.dir, segmentName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	syncDir(l.dir)
+	l.f = f
+	l.seg = idx
+	l.buf = l.buf[:0]
+	l.size, l.flushed, l.synced = int64(len(segMagic)), int64(len(segMagic)), int64(len(segMagic))
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// Abandon simulates a process crash: buffered records that were never
+// fsynced are dropped (the file is truncated back to the last durable
+// offset — the loss window Options.SyncEvery opens), an optional torn
+// frame prefix of rec is left at the tail (a write caught mid-page), and
+// the log is closed. Every later Append returns ErrClosed.
+func (l *Log) Abandon(torn *Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.buf = nil
+	l.f.Truncate(l.synced)
+	if torn != nil {
+		body := appendBody(nil, *torn)
+		frame := make([]byte, 0, frameHeaderLen+len(body))
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+		frame = append(frame, hdr[:]...)
+		frame = append(frame, body...)
+		cut := frameHeaderLen + len(body)/2
+		if cut >= len(frame) {
+			cut = len(frame) - 1
+		}
+		l.f.WriteAt(frame[:cut], l.synced)
+	}
+	l.f.Close()
+}
+
+// Records returns the number of records appended (or recovered at Open)
+// over the log's lifetime.
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// scanSegment walks one segment, calling fn (when non-nil) per valid
+// record. It returns the record count, the offset of the first invalid
+// byte (= file size when the segment is fully valid), and the number of
+// torn bytes. Invalid frames in a non-final segment are corruption.
+func scanSegment(path string, last bool, fn func(Record)) (records uint64, validOff int64, tornBytes int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(raw) < len(segMagic) || string(raw[:len(segMagic)]) != segMagic {
+		if last {
+			// A crash during segment creation can leave a partial header;
+			// the whole file is a torn tail.
+			return 0, 0, int64(len(raw)), nil
+		}
+		return 0, 0, 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	off := int64(len(segMagic))
+	for {
+		rem := int64(len(raw)) - off
+		if rem == 0 {
+			return records, off, 0, nil
+		}
+		torn := false
+		var frameLen int64
+		if rem < frameHeaderLen {
+			torn = true
+		} else {
+			ln := binary.LittleEndian.Uint32(raw[off:])
+			crc := binary.LittleEndian.Uint32(raw[off+4:])
+			if ln > maxRecordBytes || int64(frameHeaderLen)+int64(ln) > rem {
+				torn = true
+			} else {
+				body := raw[off+frameHeaderLen : off+frameHeaderLen+int64(ln)]
+				if crc32.ChecksumIEEE(body) != crc {
+					torn = true
+				} else {
+					rec, derr := decodeBody(body)
+					if derr != nil {
+						return 0, 0, 0, fmt.Errorf("wal: %s at offset %d: %w", path, off, derr)
+					}
+					if fn != nil {
+						fn(rec)
+					}
+					records++
+					frameLen = int64(frameHeaderLen) + int64(ln)
+				}
+			}
+		}
+		if torn {
+			if !last {
+				return 0, 0, 0, fmt.Errorf("wal: %s: corrupt record at offset %d in non-final segment", path, off)
+			}
+			return records, off, rem, nil
+		}
+		off += frameLen
+	}
+}
+
+func segmentName(idx int) string { return fmt.Sprintf("%08d.seg", idx) }
+
+func segIndex(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".seg")
+	n := 0
+	fmt.Sscanf(base, "%d", &n)
+	return n
+}
+
+func segmentFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("wal: no log at %q", dir)
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seg") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a freshly created segment file survives a
+// crash of the directory entry itself. Best effort: some filesystems
+// reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

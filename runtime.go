@@ -46,6 +46,16 @@ type (
 	// permanently (Runtime.Quarantined).
 	Quarantine = sched.Quarantine
 
+	// WALConfig configures the durable write-ahead log
+	// (Runtime.EnableWAL and Recover): directory, group-commit
+	// interval, segment size.
+	WALConfig = sched.WALConfig
+	// Recovered is the result of a crash recovery: rebuilt runtime,
+	// recovered committed execution, its Comp-C verdict, and stats.
+	Recovered = sched.Recovered
+	// RecoveryStats summarizes one recovery pass.
+	RecoveryStats = sched.RecoveryStats
+
 	// Op is a data-store operation; Mode its semantic class.
 	Op = data.Op
 	// Mode names the semantic class of an operation.
@@ -74,6 +84,7 @@ const (
 	FaultLockFail     = sched.FaultLockFail
 	FaultCompensation = sched.FaultCompensation
 	FaultDown         = sched.FaultDown
+	FaultCrash        = sched.FaultCrash
 )
 
 // Typed runtime errors: recoverable injected faults, component outages,
@@ -85,7 +96,22 @@ var (
 	ErrTimeout        = sched.ErrTimeout
 	ErrTooManyRetries = sched.ErrTooManyRetries
 	ErrClientAbort    = sched.ErrClientAbort
+
+	// ErrCrashed is returned by Submit after a crash fault fired: the
+	// runtime is dead and the WAL is the only survivor (see Recover).
+	ErrCrashed = sched.ErrCrashed
+	// ErrWALExists rejects EnableWAL over a non-empty log directory.
+	ErrWALExists = sched.ErrWALExists
+	// ErrRecoveredViolation flags a recovered execution that fails the
+	// Comp-C check (the Recovered value is still returned).
+	ErrRecoveredViolation = sched.ErrRecoveredViolation
 )
+
+// Recover rebuilds a runtime — stores and recorded execution — from a
+// write-ahead log directory: torn tail truncated, committed transactions
+// redone, in-flight ones undone (journaled write-ahead, so recovery is
+// idempotent), and the result re-verified against Comp-C.
+func Recover(cfg WALConfig) (*Recovered, error) { return sched.Recover(cfg) }
 
 // Deadlock-handling policies.
 const (
@@ -150,6 +176,12 @@ func Run(rt *Runtime, programs []Invocation, clients int) error {
 // cmd/compsim -topo-file and testdata/topology_shop.json).
 func DecodeTopology(r io.Reader) (*Topology, error) {
 	return sched.DecodeTopology(r)
+}
+
+// EncodeTopology writes a topology in the format DecodeTopology reads
+// (the same representation the WAL persists for recovery).
+func EncodeTopology(w io.Writer, t *Topology) error {
+	return sched.EncodeTopology(w, t)
 }
 
 // Random-execution generators (for checker-side experiments).
