@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash bench experiments clean
+.PHONY: all build test verify race chaos crash bench benchsmoke experiments clean
 
 all: build test
 
@@ -39,13 +39,21 @@ race:
 	$(GO) test -race ./internal/sched ./internal/front .
 
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
-# chaos-recovery and E11 crash-matrix tables, plus checker and WAL
-# microbenchmarks (ns/op, CheckBatch worker scaling, WAL append under each
-# group-commit setting, full crash recovery). See DESIGN.md §6.1.
+# chaos-recovery, E11 crash-matrix and E12 online-certification tables,
+# plus checker, incremental-certification and WAL microbenchmarks (ns/op,
+# CheckBatch worker scaling, E12 incremental-vs-full per-commit cost, WAL
+# append under each group-commit setting, full crash recovery). See
+# DESIGN.md §6.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12 -json BENCH_checker.json
 
-# experiments regenerates every E1-E11 table on stdout.
+# benchsmoke runs every benchmark for exactly one iteration — a CI smoke
+# test that the bench harness still compiles and completes, not a
+# measurement.
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# experiments regenerates every E1-E12 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

@@ -1,17 +1,18 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E11 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E12 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
 //	compbench [-only E4] [-samples n] [-json out.json]
 //
 // -only accepts a comma-separated list (e.g. -only E1,E2,E7). With -json,
-// the selected tables plus the checker and WAL microbenchmarks (ns/op for
-// the E1/E2 units, the E7 scaling configurations, CheckBatch throughput at
-// 1 vs 8 workers, WAL append under each group-commit setting, and full
-// crash recovery) are also written to the given file; the repository keeps
-// the result as BENCH_checker.json so the perf trajectory is
-// machine-readable across PRs.
+// the selected tables plus the checker, incremental-certification and WAL
+// microbenchmarks (ns/op for the E1/E2 units, the E7 scaling
+// configurations, CheckBatch throughput at 1 vs 8 workers, the E12
+// incremental-vs-full per-commit cost, WAL append under each group-commit
+// setting, and full crash recovery) are also written to the given file;
+// the repository keeps the result as BENCH_checker.json so the perf
+// trajectory is machine-readable across PRs.
 package main
 
 import (
@@ -20,10 +21,57 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"compositetx/internal/sim"
 )
+
+// stopProfiles finishes -cpuprofile/-memprofile collection; a no-op until
+// startProfiles installs the real hook. exit routes every post-profiling
+// termination through it (os.Exit skips defers).
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles wires the -cpuprofile/-memprofile flags: CPU profiling
+// starts now, the heap profile is captured when stopProfiles runs.
+func startProfiles(cpu, mem string) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+			os.Exit(2)
+		}
+		cpuF = f
+	}
+	stopProfiles = func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+}
 
 // benchDoc is the -json output shape (persisted as BENCH_checker.json).
 type benchDoc struct {
@@ -33,25 +81,31 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E11)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E12)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+
 	run := map[string]func() *sim.Table{
-		"E1": sim.E1Figure3,
-		"E2": sim.E2Figure4,
-		"E3": func() *sim.Table { return sim.E3Theorems(pick(*samples, 150)) },
-		"E4": func() *sim.Table { return sim.E4Containment(pick(*samples, 400)) },
-		"E5": func() *sim.Table { return sim.E5Commutativity(pick(*samples, 300)) },
-		"E6": func() *sim.Table { return sim.E6Protocols(sim.DefaultRunConfig()) },
-		"E7": sim.E7CheckerScaling,
-		"E8": func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
+		"E1":  sim.E1Figure3,
+		"E2":  sim.E2Figure4,
+		"E3":  func() *sim.Table { return sim.E3Theorems(pick(*samples, 150)) },
+		"E4":  func() *sim.Table { return sim.E4Containment(pick(*samples, 400)) },
+		"E5":  func() *sim.Table { return sim.E5Commutativity(pick(*samples, 300)) },
+		"E6":  func() *sim.Table { return sim.E6Protocols(sim.DefaultRunConfig()) },
+		"E7":  sim.E7CheckerScaling,
+		"E8":  func() *sim.Table { return sim.E8Coverage(pick(*samples, 12)) },
 		"E9":  func() *sim.Table { return sim.E9Deadlock(sim.DefaultRunConfig()) },
 		"E10": func() *sim.Table { return sim.E10Chaos(sim.DefaultChaosConfig()) },
 		"E11": func() *sim.Table { return sim.E11CrashMatrix(sim.DefaultCrashConfig()) },
+		"E12": func() *sim.Table { return sim.E12Incremental(sim.DefaultRunConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -61,7 +115,7 @@ func main() {
 			}
 			if _, ok := run[id]; !ok {
 				fmt.Fprintf(os.Stderr, "compbench: unknown experiment %q\n", id)
-				os.Exit(2)
+				exit(2)
 			}
 			ids = append(ids, id)
 		}
@@ -79,22 +133,22 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: append(sim.CheckerBenchmarks(), sim.WALBenchmarks()...),
+			Benchmarks: append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "compbench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 }

@@ -20,12 +20,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	ctx "compositetx"
 )
+
+// stopProfiles finishes -cpuprofile/-memprofile collection; a no-op until
+// startProfiles installs the real hook. exit routes every post-profiling
+// termination through it (os.Exit skips defers).
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles wires the -cpuprofile/-memprofile flags: CPU profiling
+// starts now, the heap profile is captured when stopProfiles runs.
+func startProfiles(cpu, mem string) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			os.Exit(2)
+		}
+		cpuF = f
+	}
+	stopProfiles = func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+}
 
 // parseFaults turns "apply=0.02,lock-delay=0.05,crash=0.01" into a
 // FaultPlan (site names match FaultSite.String; values are per-visit
@@ -91,7 +139,7 @@ func runRecover(dir string) {
 	rec, err := ctx.Recover(ctx.WALConfig{Dir: dir})
 	if rec == nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	s := rec.Stats
 	fmt.Printf("recovered wal=%s segments=%d records=%d torn-bytes=%d\n", dir, s.Segments, s.Records, s.TornBytes)
@@ -103,7 +151,7 @@ func runRecover(dir string) {
 	fmt.Printf("recovered execution: %s\n", rec.Verdict)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -127,10 +175,17 @@ func main() {
 	crash := flag.String("crash", "", `deterministic crash trigger: a leaf node ID ("T13/2/1") or "T13:commit"/"T13:post-commit" (requires -wal)`)
 	crashTear := flag.Bool("crash-tear", false, "tear the WAL record mid-append when the crash fires")
 	recoverDir := flag.String("recover", "", "recover from a WAL directory, report, and exit")
+	certify := flag.Bool("certify", false, "certify every commit online against Comp-C and reject violating ones")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *recoverDir != "" {
 		runRecover(*recoverDir)
+		stopProfiles()
 		return
 	}
 
@@ -146,18 +201,18 @@ func main() {
 		f, err := os.Open(*topoFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		topo, err = ctx.DecodeTopology(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		*topoName = *topoFile
 	} else if !ok {
 		fmt.Fprintf(os.Stderr, "compsim: unknown topology %q\n", *topoName)
-		os.Exit(2)
+		exit(2)
 	}
 	protos := map[string]ctx.Protocol{
 		"open-nested":   ctx.OpenNested,
@@ -169,7 +224,7 @@ func main() {
 	proto, ok := protos[*protoName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "compsim: unknown protocol %q\n", *protoName)
-		os.Exit(2)
+		exit(2)
 	}
 
 	rt := topo.NewRuntime(proto)
@@ -180,32 +235,38 @@ func main() {
 		rt.Deadlock = ctx.DetectWFG
 	default:
 		fmt.Fprintf(os.Stderr, "compsim: unknown deadlock policy %q\n", *deadlock)
-		os.Exit(2)
+		exit(2)
 	}
 	rt.OpTimeout = *opTimeout
+	if *certify {
+		if err := rt.EnableCertify(); err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			exit(2)
+		}
+	}
 	if *walDir != "" {
 		if err := rt.EnableWAL(ctx.WALConfig{Dir: *walDir, SyncEvery: *walSync}); err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 	plan, err := parseFaults(*faults, *faultSeed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	if *crash != "" {
 		trig, err := parseCrash(*crash)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		plan.Triggers = append(plan.Triggers, trig)
 	}
 	plan.CrashTear = *crashTear
 	if (*crash != "" || plan.CrashProb > 0) && *walDir == "" {
 		fmt.Fprintln(os.Stderr, "compsim: crash faults need -wal (nothing would survive to recover)")
-		os.Exit(2)
+		exit(2)
 	}
 	if *faults != "" || *crash != "" {
 		rt.SetFaults(plan)
@@ -223,16 +284,27 @@ func main() {
 		fmt.Println(m.String())
 		fmt.Printf("crashed: runtime killed by a crash fault; the WAL at %s survived\n", *walDir)
 		fmt.Printf("recover with: compsim -recover %s\n", *walDir)
-		os.Exit(3)
+		exit(3)
+	}
+	if errors.Is(runErr, ctx.ErrCertifyViolation) {
+		// The certifier did its job: the violating commit was rejected and
+		// rolled back, and the committed history below stays Comp-C.
+		var cerr *ctx.CertifyError
+		if errors.As(runErr, &cerr) {
+			fmt.Printf("certify: rejected %s at commit time: %s\n", cerr.Root, cerr.Verdict.Reason)
+		} else {
+			fmt.Printf("certify: rejected a commit: %v\n", runErr)
+		}
+		runErr = nil
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", runErr)
-		os.Exit(1)
+		exit(1)
 	}
 	if *walDir != "" {
 		if err := rt.CloseWAL(); err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	fmt.Printf("wall=%s throughput=%.0f tx/s\n", elapsed.Round(time.Millisecond), float64(m.Commits)/elapsed.Seconds())
@@ -246,15 +318,15 @@ func main() {
 	sys := rt.RecordedSystem()
 	if err := sys.Validate(); err != nil {
 		fmt.Printf("recorded execution: MODEL VIOLATION (%v)\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	v, err := ctx.Check(sys, ctx.CheckOptions{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("recorded execution: %s\n", v)
 	if !v.Correct {
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -71,6 +71,22 @@ type (
 	// Sequences records temporal operation sequences per schedule, the
 	// extra information the OPSR baseline needs.
 	Sequences = criteria.Sequences
+
+	// Incremental is the online Comp-C engine: feed it execution deltas
+	// with Append and it re-decides correctness touching only the
+	// affected reduction state (the runtime's live certification is built
+	// on it).
+	Incremental = front.Incremental
+	// IncrementalOptions configures NewIncremental.
+	IncrementalOptions = front.IncrementalOptions
+	// Delta is an execution increment: new schedules, nodes, conflict
+	// pairs and order edges to append to a system under check.
+	Delta = front.Delta
+	// DeltaNode declares one forest node inside a Delta.
+	DeltaNode = front.DeltaNode
+	// DeltaPair declares one node pair (conflict or order edge) inside a
+	// Delta.
+	DeltaPair = front.DeltaPair
 )
 
 // NewSystem returns an empty composite system. Add schedules with
@@ -109,6 +125,25 @@ type BatchResult = front.BatchResult
 func CheckBatch(systems []*System, parallelism int, opts CheckOptions) []BatchResult {
 	return front.CheckBatch(systems, parallelism, opts)
 }
+
+// NewIncremental returns an empty online Comp-C engine. Feed it Deltas
+// with Append; every call returns the verdict for the execution
+// accumulated so far, recomputing only the reduction state the delta
+// touches.
+func NewIncremental(opts IncrementalOptions) *Incremental { return front.NewIncremental(opts) }
+
+// SystemDelta converts a whole system into one Delta (appendable onto an
+// empty engine).
+func SystemDelta(sys *System) *Delta { return front.SystemDelta(sys) }
+
+// DecomposeByRoot splits a system into one Delta per root transaction —
+// the commit-sized increments the runtime's certifier feeds the engine.
+func DecomposeByRoot(sys *System) []*Delta { return front.DecomposeByRoot(sys) }
+
+// DecomposeSteps splits a system into fine-grained Deltas (one node
+// each, parents first), the op-by-op stream used by the prefix-exactness
+// property tests.
+func DecomposeSteps(sys *System) []*Delta { return front.DecomposeSteps(sys) }
 
 // IsCC reports conflict consistency of a single schedule: it serialized
 // its transactions compatibly with its weak input orders.

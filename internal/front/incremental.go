@@ -1,0 +1,823 @@
+package front
+
+import (
+	"fmt"
+	"sort"
+
+	"compositetx/internal/model"
+	"compositetx/internal/order"
+)
+
+// Incremental is the online Comp-C engine: it accumulates a composite
+// execution delta by delta and re-decides correctness after each append
+// by recomputing only the rows and levels a delta touches, instead of
+// rerunning the whole reduction the way Check does.
+//
+// Soundness rests on monotonicity: appends only ever ADD nodes and pairs,
+// and with a fixed level assignment every derived set of the reduction —
+// per-level front membership intervals, observed orders, generalized
+// conflicts, constraint relations — only grows. Incorrectness is
+// therefore monotone: once any reduction check fails it fails forever,
+// so the engine can propagate just the newly derived pairs ("frontier
+// propagation" through levels 0..N) and poison itself on the first
+// failure. When the delta changes the level assignment (a new schedule,
+// or a new invocation edge), the engine rebuilds from the accumulated
+// system; that happens at most once per topology edge, not per commit.
+//
+// Verdicts are identical to Check's (and so to CheckReference's): on
+// success the engine materializes the same final front, serial witness
+// and step reports; on failure it delegates the verdict to Check over
+// the accumulated system, so failure diagnostics — reason, witness
+// cycle, failed level — stay byte-identical. The property tests in
+// incremental_test.go assert this prefix by prefix.
+type Incremental struct {
+	opts     IncrementalOptions
+	sys      *model.System
+	ig       *order.Relation[model.ScheduleID]
+	levels   map[model.ScheduleID]int
+	eng      *incEngine
+	failed   bool
+	rebuilds int
+}
+
+// IncrementalOptions configures an Incremental.
+type IncrementalOptions struct {
+	// PropagateInputs mirrors the runtime recorder's Definition 4 item 7:
+	// whenever the (closed) weak output order of a schedule relates two
+	// of its operations that are transactions of one common callee
+	// schedule, the pair is added to the callee's weak input order. The
+	// runtime certifier enables this so the accumulated system matches
+	// Runtime.RecordedSystem exactly.
+	PropagateInputs bool
+}
+
+// NewIncremental returns an empty incremental engine.
+func NewIncremental(opts IncrementalOptions) *Incremental {
+	return &Incremental{
+		opts:   opts,
+		sys:    model.NewSystem(),
+		ig:     order.New[model.ScheduleID](),
+		levels: map[model.ScheduleID]int{},
+	}
+}
+
+// System returns the accumulated composite system. Callers must not
+// mutate it; append through deltas instead.
+func (inc *Incremental) System() *model.System { return inc.sys }
+
+// Degraded reports whether the engine has observed a violation and is
+// delegating verdicts to the full checker (incorrectness is monotone, so
+// every later prefix is incorrect too).
+func (inc *Incremental) Degraded() bool { return inc.failed }
+
+// Rebuilds counts full engine rebuilds (level-assignment changes).
+func (inc *Incremental) Rebuilds() int { return inc.rebuilds }
+
+// Append applies the delta and returns the verdict for the accumulated
+// execution, identical to Check over the same system. The delta is
+// validated first and rejected all-or-nothing: on error nothing changed.
+func (inc *Incremental) Append(d *Delta) (*Verdict, error) {
+	return inc.append(d, true)
+}
+
+// Admit is Append for certification hot paths: on success it skips
+// materializing the success verdict and returns (nil, nil); on a
+// violation it returns the full failure verdict.
+func (inc *Incremental) Admit(d *Delta) (*Verdict, error) {
+	return inc.append(d, false)
+}
+
+func (inc *Incremental) append(d *Delta, full bool) (*Verdict, error) {
+	if err := validateDelta(inc.sys, d); err != nil {
+		return nil, err
+	}
+	levels, changed, err := inc.applyIG(d)
+	if err != nil {
+		return nil, err
+	}
+	d.Apply(inc.sys)
+	if inc.failed {
+		return Check(inc.sys, Options{})
+	}
+	if inc.eng == nil || changed {
+		inc.levels = levels
+		inc.eng = newIncEngine(inc, levels)
+		inc.rebuilds++
+		inc.eng.apply(SystemDelta(inc.sys))
+	} else {
+		inc.eng.apply(d)
+	}
+	if inc.eng.failed {
+		inc.failed = true
+		return Check(inc.sys, Options{})
+	}
+	if !full {
+		return nil, nil
+	}
+	return inc.eng.verdict()
+}
+
+// applyIG folds the delta's invocation-graph additions (Definition 8)
+// into the accumulated IG, all-or-nothing: a recursive configuration is
+// an error and leaves the graph untouched. It returns the level
+// assignment and whether it changed (forcing an engine rebuild).
+func (inc *Incremental) applyIG(d *Delta) (map[model.ScheduleID]int, bool, error) {
+	dn := make(map[model.NodeID]model.ScheduleID, len(d.Nodes))
+	for _, n := range d.Nodes {
+		dn[n.ID] = n.Sched
+	}
+	schedOf := func(id model.NodeID) model.ScheduleID {
+		if s, ok := dn[id]; ok {
+			return s
+		}
+		if nd := inc.sys.Node(id); nd != nil {
+			return nd.Sched
+		}
+		return ""
+	}
+	var edges [][2]model.ScheduleID
+	for _, n := range d.Nodes {
+		if n.Sched == "" || n.Parent == "" {
+			continue
+		}
+		if caller := schedOf(n.Parent); caller != "" && !inc.ig.Has(caller, n.Sched) {
+			edges = append(edges, [2]model.ScheduleID{caller, n.Sched})
+		}
+	}
+	if len(d.Schedules) == 0 && len(edges) == 0 {
+		return inc.levels, false, nil
+	}
+	wig := inc.ig.Clone()
+	for _, s := range d.Schedules {
+		wig.AddNode(s)
+	}
+	for _, e := range edges {
+		wig.Add(e[0], e[1])
+	}
+	levels, err := igLevels(wig)
+	if err != nil {
+		return nil, false, err
+	}
+	inc.ig = wig
+	if sameLevels(levels, inc.levels) {
+		return levels, false, nil
+	}
+	return levels, true, nil
+}
+
+// igLevels is model.System.Levels on a standalone invocation graph.
+func igLevels(ig *order.Relation[model.ScheduleID]) (map[model.ScheduleID]int, error) {
+	sorted, ok := ig.TopoSort()
+	if !ok {
+		return nil, fmt.Errorf("front: invocation graph is cyclic (recursive configuration): %v", ig.FindCycle())
+	}
+	levels := make(map[model.ScheduleID]int, len(sorted))
+	for i := len(sorted) - 1; i >= 0; i-- {
+		sc := sorted[i]
+		longest := 0
+		for _, succ := range ig.Successors(sc) {
+			if l := levels[succ]; l > longest {
+				longest = l
+			}
+		}
+		levels[sc] = longest + 1
+	}
+	return levels, nil
+}
+
+func sameLevels(a, b map[model.ScheduleID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ipair is one pending pair of interned node indices.
+type ipair struct{ a, b int32 }
+
+// incLevel is the accumulated reduction state of one front level.
+type incLevel struct {
+	nodes    order.Bitset
+	obs      *order.ClosedRelation // <o, transitively closed throughout
+	cc       *order.ClosedRelation // closure of obs ∪ weakIn: CC sentinel
+	con      *order.IndexRelation  // CON, symmetric and irreflexive
+	weakIn   *order.IndexRelation
+	strongIn *order.IndexRelation
+	e        *order.IndexRelation  // constraint relation E (levels ≥ 1)
+	q        *order.ClosedRelation // closed quotient of E (levels ≥ 1)
+}
+
+// incEngine holds the interned-index reduction state for a fixed level
+// assignment. It mirrors sysIndex (indexed.go) with two differences:
+// node indices are assigned in arrival order (the stream fixes them, not
+// lexicographic interning — determinism is restored by sorting at verdict
+// materialization), and every per-level structure is maintained
+// incrementally under pair insertion instead of being rebuilt per check.
+type incEngine struct {
+	inc    *Incremental
+	failed bool
+
+	orderN   int // N, the highest schedule level
+	schedIDs []model.ScheduleID
+	schedNum map[model.ScheduleID]int
+	slevel   []int
+	schedsAt [][]int
+
+	capN      int
+	ids       []model.NodeID
+	idx       map[model.NodeID]int32
+	parent    []int32
+	sched     []int32 // schedule the node is a transaction of; -1 for leaves
+	opSched   []int32 // schedule the node is an operation of; -1 for roots
+	entry     []int32 // level the node enters the front
+	exitL     []int32 // level the node is reduced at (orderN+1 for roots)
+	isLeaf    order.Bitset
+	children  [][]int32
+	rootCount int
+
+	conf *order.IndexRelation // global conflict predicate (Definition 11 case 1)
+
+	// Per schedule: declared conflict pairs, closed weak output order (≪
+	// folded in), conflicting pairs directed by it, closed input orders
+	// (⇒ folded into →), and the union of the txs' closed intra orders.
+	ops       []order.Bitset
+	txs       [][]int32
+	confDecl  []*order.IndexRelation
+	confOut   []*order.IndexRelation
+	weakOutC  []*order.ClosedRelation
+	weakInC   []*order.ClosedRelation
+	strongInC []*order.ClosedRelation
+	intraC    []*order.ClosedRelation
+
+	lv []*incLevel
+
+	// Pending frontier queues of the in-flight apply, indexed by level.
+	pObs, pWeakIn, pStrongIn, pE [][]ipair
+}
+
+func newIncEngine(inc *Incremental, levels map[model.ScheduleID]int) *incEngine {
+	eng := &incEngine{
+		inc:      inc,
+		schedNum: map[model.ScheduleID]int{},
+		idx:      map[model.NodeID]int32{},
+		capN:     64,
+	}
+	for _, l := range levels {
+		if l > eng.orderN {
+			eng.orderN = l
+		}
+	}
+	// sys.Schedules() is sorted by ID, so schedule numbers ascend with
+	// ScheduleID exactly as in sysIndex — schedsAt iteration order and
+	// Reduced concatenation match the reference without extra sorting.
+	for _, sc := range inc.sys.Schedules() {
+		eng.schedNum[sc.ID] = len(eng.schedIDs)
+		eng.schedIDs = append(eng.schedIDs, sc.ID)
+		eng.slevel = append(eng.slevel, levels[sc.ID])
+		eng.ops = append(eng.ops, order.NewBitset(eng.capN))
+		eng.txs = append(eng.txs, nil)
+		eng.confDecl = append(eng.confDecl, order.NewIndexRelation(eng.capN))
+		eng.confOut = append(eng.confOut, order.NewIndexRelation(eng.capN))
+		eng.weakOutC = append(eng.weakOutC, order.NewClosedRelation(eng.capN))
+		eng.weakInC = append(eng.weakInC, order.NewClosedRelation(eng.capN))
+		eng.strongInC = append(eng.strongInC, order.NewClosedRelation(eng.capN))
+		eng.intraC = append(eng.intraC, order.NewClosedRelation(eng.capN))
+	}
+	eng.schedsAt = make([][]int, eng.orderN+1)
+	for s := range eng.schedIDs {
+		if l := eng.slevel[s]; l >= 1 && l <= eng.orderN {
+			eng.schedsAt[l] = append(eng.schedsAt[l], s)
+		}
+	}
+	eng.isLeaf = order.NewBitset(eng.capN)
+	eng.conf = order.NewIndexRelation(eng.capN)
+	eng.lv = make([]*incLevel, eng.orderN+1)
+	for l := range eng.lv {
+		st := &incLevel{
+			nodes:    order.NewBitset(eng.capN),
+			obs:      order.NewClosedRelation(eng.capN),
+			cc:       order.NewClosedRelation(eng.capN),
+			con:      order.NewIndexRelation(eng.capN),
+			weakIn:   order.NewIndexRelation(eng.capN),
+			strongIn: order.NewIndexRelation(eng.capN),
+		}
+		if l >= 1 {
+			st.e = order.NewIndexRelation(eng.capN)
+			st.q = order.NewClosedRelation(eng.capN)
+		}
+		eng.lv[l] = st
+	}
+	return eng
+}
+
+// ensureCap widens every index-space structure to hold n nodes. All
+// bitsets sharing the space must be regrown together (word-parallel ops
+// assume equal widths), so growth is eager and geometric.
+func (eng *incEngine) ensureCap(n int) {
+	if n <= eng.capN {
+		return
+	}
+	c := eng.capN
+	for c < n {
+		c *= 2
+	}
+	eng.capN = c
+	eng.isLeaf = eng.isLeaf.Grow(c)
+	eng.conf.Grow(c)
+	for s := range eng.schedIDs {
+		eng.ops[s] = eng.ops[s].Grow(c)
+		eng.confDecl[s].Grow(c)
+		eng.confOut[s].Grow(c)
+		eng.weakOutC[s].Grow(c)
+		eng.weakInC[s].Grow(c)
+		eng.strongInC[s].Grow(c)
+		eng.intraC[s].Grow(c)
+	}
+	for _, st := range eng.lv {
+		st.nodes = st.nodes.Grow(c)
+		st.obs.Grow(c)
+		st.cc.Grow(c)
+		st.con.Grow(c)
+		st.weakIn.Grow(c)
+		st.strongIn.Grow(c)
+		if st.e != nil {
+			st.e.Grow(c)
+			st.q.Grow(c)
+		}
+	}
+}
+
+// apply runs one delta through the engine: phase A routes every new node
+// and generating pair into per-level pending queues; phase B drains the
+// queues level by level (all pushes go strictly upward, so one pass
+// suffices). On any reduction failure the engine poisons itself.
+func (eng *incEngine) apply(d *Delta) {
+	if eng.failed {
+		return
+	}
+	eng.ensureCap(len(eng.ids) + len(d.Nodes))
+	eng.pObs = resetQueues(eng.pObs, eng.orderN+1)
+	eng.pWeakIn = resetQueues(eng.pWeakIn, eng.orderN+1)
+	eng.pStrongIn = resetQueues(eng.pStrongIn, eng.orderN+1)
+	eng.pE = resetQueues(eng.pE, eng.orderN+1)
+
+	for _, dn := range d.Nodes {
+		eng.addNode(dn)
+	}
+	for _, p := range d.Conflicts {
+		eng.addConflict(eng.schedNum[p.Sched], int(eng.idx[p.A]), int(eng.idx[p.B]))
+	}
+	for _, p := range d.WeakOut {
+		eng.addWeakOut(eng.schedNum[p.Sched], int(eng.idx[p.A]), int(eng.idx[p.B]))
+	}
+	for _, p := range d.StrongOut {
+		eng.addWeakOut(eng.schedNum[p.Sched], int(eng.idx[p.A]), int(eng.idx[p.B])) // ≪ ⊆ ≺
+	}
+	for _, p := range d.WeakIn {
+		eng.addWeakIn(eng.schedNum[p.Sched], int(eng.idx[p.A]), int(eng.idx[p.B]), false)
+	}
+	for _, p := range d.StrongIn {
+		eng.addWeakIn(eng.schedNum[p.Sched], int(eng.idx[p.A]), int(eng.idx[p.B]), true)
+	}
+	for _, ip := range d.Intra {
+		eng.addIntra(int(eng.idx[ip.Tx]), int(eng.idx[ip.A]), int(eng.idx[ip.B]))
+	}
+
+	for l := 0; l <= eng.orderN && !eng.failed; l++ {
+		eng.processLevel(l)
+	}
+}
+
+func resetQueues(q [][]ipair, n int) [][]ipair {
+	if len(q) != n {
+		return make([][]ipair, n)
+	}
+	for i := range q {
+		q[i] = q[i][:0]
+	}
+	return q
+}
+
+func (eng *incEngine) pushObs(l int, a, b int32) { eng.pObs[l] = append(eng.pObs[l], ipair{a, b}) }
+func (eng *incEngine) pushWeakIn(l int, a, b int32) {
+	eng.pWeakIn[l] = append(eng.pWeakIn[l], ipair{a, b})
+}
+func (eng *incEngine) pushStrongIn(l int, a, b int32) {
+	eng.pStrongIn[l] = append(eng.pStrongIn[l], ipair{a, b})
+}
+func (eng *incEngine) pushE(l int, a, b int32) { eng.pE[l] = append(eng.pE[l], ipair{a, b}) }
+
+// addNode interns one forest node and fixes its static membership
+// interval: a node is in the level-l front for entry ≤ l < exit, where
+// leaves enter at 0, transactions at their schedule's level, and every
+// non-root is reduced at its operation schedule's level (roots never are).
+func (eng *incEngine) addNode(dn DeltaNode) {
+	i := int32(len(eng.ids))
+	eng.ids = append(eng.ids, dn.ID)
+	eng.idx[dn.ID] = i
+	eng.children = append(eng.children, nil)
+
+	pi := int32(-1)
+	if dn.Parent != "" {
+		pi = eng.idx[dn.Parent]
+		eng.children[pi] = append(eng.children[pi], i)
+	}
+	eng.parent = append(eng.parent, pi)
+
+	si := int32(-1)
+	if dn.Sched != "" {
+		si = int32(eng.schedNum[dn.Sched])
+		eng.txs[si] = append(eng.txs[si], i)
+	} else {
+		eng.isLeaf.Set(int(i))
+	}
+	eng.sched = append(eng.sched, si)
+
+	osi := int32(-1)
+	if pi >= 0 {
+		osi = eng.sched[pi]
+		eng.ops[osi].Set(int(i))
+	} else {
+		eng.rootCount++
+	}
+	eng.opSched = append(eng.opSched, osi)
+
+	var en int32
+	if si >= 0 {
+		en = int32(eng.slevel[si])
+	}
+	ex := int32(eng.orderN + 1)
+	if pi >= 0 {
+		ex = int32(eng.slevel[osi])
+	}
+	eng.entry = append(eng.entry, en)
+	eng.exitL = append(eng.exitL, ex)
+	for l := int(en); l < int(ex) && l <= eng.orderN; l++ {
+		eng.lv[l].nodes.Set(int(i))
+	}
+}
+
+// group maps a node to its level-l reduction group: its parent when the
+// step to level l reduces it, itself otherwise.
+func (eng *incEngine) group(i, l int) int {
+	if eng.exitL[i] == int32(l) {
+		return int(eng.parent[i])
+	}
+	return i
+}
+
+func (eng *incEngine) isNewTxAt(g, l int) bool {
+	return eng.sched[g] >= 0 && eng.slevel[eng.sched[g]] == l
+}
+
+// addConflict registers a declared conflict pair of schedule s: the
+// global predicate, the generalized conflict at every level where both
+// endpoints coexist, conflicting-output direction, and the un-forget
+// rule — an observed pair previously dropped at the lift into level(s)
+// by the forgotten-pair rule must be lifted now that the conflict exists.
+func (eng *incEngine) addConflict(s, a, b int) {
+	if eng.confDecl[s].Has(a, b) {
+		return
+	}
+	eng.confDecl[s].AddSym(a, b)
+	eng.conf.AddSym(a, b)
+
+	lo := int(eng.entry[a])
+	if int(eng.entry[b]) > lo {
+		lo = int(eng.entry[b])
+	}
+	hi := int(eng.exitL[a])
+	if int(eng.exitL[b]) < hi {
+		hi = int(eng.exitL[b])
+	}
+	hi--
+	if hi > eng.orderN {
+		hi = eng.orderN
+	}
+	for l := lo; l <= hi; l++ {
+		eng.addConDir(l, a, b)
+		eng.addConDir(l, b, a)
+	}
+
+	if eng.weakOutC[s].Has(a, b) {
+		eng.addConfOut(s, a, b)
+	}
+	if eng.weakOutC[s].Has(b, a) {
+		eng.addConfOut(s, b, a)
+	}
+
+	e := eng.slevel[s]
+	if eng.lv[e-1].obs.Has(a, b) {
+		eng.liftInto(e, a, b)
+	}
+	if eng.lv[e-1].obs.Has(b, a) {
+		eng.liftInto(e, b, a)
+	}
+}
+
+// addConDir adds one direction of the level-l generalized conflict; a
+// pair both observed and conflicting is a constraint pair of the next
+// step (Definition 16 step 1).
+func (eng *incEngine) addConDir(l, u, v int) {
+	if eng.lv[l].con.Has(u, v) {
+		return
+	}
+	eng.lv[l].con.Add(u, v)
+	if l < eng.orderN && eng.lv[l].obs.Has(u, v) {
+		eng.pushE(l+1, int32(u), int32(v))
+	}
+}
+
+// addConfOut records a conflicting pair directed by the closed output
+// order of schedule s: a constraint pair of the step reducing s, and an
+// observed pair between the owning transactions (Definition 10 rule 2).
+func (eng *incEngine) addConfOut(s, a, b int) {
+	if eng.confOut[s].Has(a, b) {
+		return
+	}
+	eng.confOut[s].Add(a, b)
+	l := eng.slevel[s]
+	eng.pushE(l, int32(a), int32(b))
+	if pa, pb := eng.parent[a], eng.parent[b]; pa != pb {
+		eng.pushObs(l, pa, pb)
+	}
+}
+
+// addWeakOut inserts a weak (or folded strong) output-order pair of
+// schedule s and routes every newly closed pair.
+func (eng *incEngine) addWeakOut(s, a, b int) {
+	eng.weakOutC[s].InsertFunc(a, b, func(x, y int) {
+		eng.weakOutPair(s, x, y)
+	})
+}
+
+// weakOutPair routes one newly closed output-order pair of schedule s:
+// leaf pairs seed the level-0 observed order (Definition 10 rule 1),
+// transaction–leaf pairs enter the observed order with the transaction,
+// and transaction pairs of one callee propagate to its input order
+// (Definition 4 item 7) when the engine records runtime executions.
+func (eng *incEngine) weakOutPair(s, x, y int) {
+	xLeaf, yLeaf := eng.isLeaf.Has(x), eng.isLeaf.Has(y)
+	switch {
+	case xLeaf && yLeaf:
+		eng.pushObs(0, int32(x), int32(y))
+	case xLeaf != yLeaf:
+		t := x
+		if xLeaf {
+			t = y
+		}
+		eng.pushObs(int(eng.entry[t]), int32(x), int32(y))
+	default:
+		if eng.inc.opts.PropagateInputs && eng.sched[x] == eng.sched[y] && eng.sched[x] >= 0 {
+			c := int(eng.sched[x])
+			eng.addWeakIn(c, x, y, false)
+			eng.inc.sys.Schedule(eng.schedIDs[c]).WeakIn.Add(eng.ids[x], eng.ids[y])
+		}
+	}
+	if eng.confDecl[s].Has(x, y) {
+		eng.addConfOut(s, x, y)
+	}
+}
+
+// addWeakIn inserts an input-order pair of schedule s (strong pairs fold
+// into the weak order, Definition 3) and queues every newly closed pair
+// at the level where s's transactions enter the front.
+func (eng *incEngine) addWeakIn(s, a, b int, strong bool) {
+	l := eng.slevel[s]
+	eng.weakInC[s].InsertFunc(a, b, func(x, y int) {
+		eng.pushWeakIn(l, int32(x), int32(y))
+	})
+	if strong {
+		eng.strongInC[s].InsertFunc(a, b, func(x, y int) {
+			eng.pushStrongIn(l, int32(x), int32(y))
+		})
+	}
+}
+
+// addIntra inserts an intra-transaction order pair of transaction t;
+// closed pairs are constraint pairs of the step reducing t's schedule.
+// Distinct transactions have disjoint operation sets, so the shared
+// per-schedule closure equals the union of per-transaction closures.
+func (eng *incEngine) addIntra(t, a, b int) {
+	s := int(eng.sched[t])
+	l := eng.slevel[s]
+	eng.intraC[s].InsertFunc(a, b, func(x, y int) {
+		eng.pushE(l, int32(x), int32(y))
+	})
+}
+
+// liftInto pushes a level-(l-1) observed pair into the level-l observed
+// order, mapped through the level-l grouping, unless it is forgotten:
+// both endpoints reduced, operations of one common schedule, no declared
+// conflict (Definition 10 rule 2).
+func (eng *incEngine) liftInto(l, x, y int) {
+	gx, gy := eng.group(x, l), eng.group(y, l)
+	if gx == gy {
+		return
+	}
+	if eng.exitL[x] == int32(l) && eng.exitL[y] == int32(l) {
+		if sx := eng.opSched[x]; sx >= 0 && sx == eng.opSched[y] && !eng.conf.Has(x, y) {
+			return
+		}
+	}
+	eng.pushObs(l, int32(gx), int32(gy))
+}
+
+// obsPair handles one newly closed observed pair of level l: generalized
+// conflict between cross-schedule nodes (Definition 11 case 2),
+// constraint membership when the pair also conflicts, and the lift to
+// the next front.
+func (eng *incEngine) obsPair(l, x, y int) {
+	if l >= 1 {
+		sx, sy := eng.opSched[x], eng.opSched[y]
+		if sx != sy || sx < 0 {
+			eng.addConDir(l, x, y)
+			eng.addConDir(l, y, x)
+		}
+	}
+	if l < eng.orderN {
+		if eng.lv[l].con.Has(x, y) {
+			eng.pushE(l+1, int32(x), int32(y))
+		}
+		eng.liftInto(l+1, x, y)
+	}
+}
+
+// processLevel drains the level-l queues: constraint pairs first (the
+// two existence checks of Definition 16 step 1 — per-group acyclicity
+// and quotient acyclicity), then observed pairs (closed, CC-checked,
+// lifted), then input orders (CC-checked, survival-propagated). Every
+// push from here goes to level l+1 or higher, so the caller's single
+// ascending pass over levels drains everything.
+func (eng *incEngine) processLevel(l int) {
+	st := eng.lv[l]
+
+	if l >= 1 {
+		var dirty []int32
+		for k := 0; k < len(eng.pE[l]) && !eng.failed; k++ {
+			p := eng.pE[l][k]
+			a, b := int(p.a), int(p.b)
+			if st.e.Has(a, b) {
+				continue
+			}
+			st.e.Add(a, b)
+			ga, gb := eng.group(a, l), eng.group(b, l)
+			if ga == gb {
+				if eng.isNewTxAt(ga, l) {
+					dirty = append(dirty, int32(ga))
+				} else {
+					eng.failed = true // cyclic singleton group: no calculation
+				}
+				continue
+			}
+			if st.q.Has(gb, ga) {
+				eng.failed = true // quotient cycle: transactions cannot be isolated
+				continue
+			}
+			st.q.Insert(ga, gb)
+		}
+		for _, g := range dirty {
+			if eng.failed {
+				break
+			}
+			if subgraphCyclic(st.e, eng.children[g]) {
+				eng.failed = true // cyclic group: no calculation for the transaction
+			}
+		}
+		if eng.failed {
+			return
+		}
+	}
+
+	for k := 0; k < len(eng.pObs[l]) && !eng.failed; k++ {
+		p := eng.pObs[l][k]
+		a, b := int(p.a), int(p.b)
+		if st.obs.Has(a, b) {
+			continue
+		}
+		if a == b || st.cc.Has(b, a) {
+			eng.failed = true // conflict-consistency cycle
+			break
+		}
+		st.cc.Insert(a, b)
+		var closed []ipair
+		st.obs.InsertFunc(a, b, func(x, y int) {
+			closed = append(closed, ipair{int32(x), int32(y)})
+		})
+		for _, c := range closed {
+			eng.obsPair(l, int(c.a), int(c.b))
+		}
+	}
+	if eng.failed {
+		return
+	}
+
+	for k := 0; k < len(eng.pWeakIn[l]) && !eng.failed; k++ {
+		p := eng.pWeakIn[l][k]
+		a, b := int(p.a), int(p.b)
+		if st.weakIn.Has(a, b) {
+			continue
+		}
+		if a == b || st.cc.Has(b, a) {
+			eng.failed = true // conflict-consistency cycle
+			break
+		}
+		st.cc.Insert(a, b)
+		st.weakIn.Add(a, b)
+		if l < eng.orderN && eng.lv[l+1].nodes.Has(a) && eng.lv[l+1].nodes.Has(b) {
+			eng.pushWeakIn(l+1, p.a, p.b)
+		}
+	}
+	if eng.failed {
+		return
+	}
+
+	for k := 0; k < len(eng.pStrongIn[l]); k++ {
+		p := eng.pStrongIn[l][k]
+		a, b := int(p.a), int(p.b)
+		if st.strongIn.Has(a, b) {
+			continue
+		}
+		st.strongIn.Add(a, b)
+		if l < eng.orderN {
+			eng.pushE(l+1, p.a, p.b)
+			if eng.lv[l+1].nodes.Has(a) && eng.lv[l+1].nodes.Has(b) {
+				eng.pushStrongIn(l+1, p.a, p.b)
+			}
+		}
+	}
+}
+
+// verdict assembles the success verdict, identical to Check's: the same
+// step reports (schedule-ascending, NodeID-sorted Reduced lists), the
+// same materialized final front, and the same serial witness.
+func (eng *incEngine) verdict() (*Verdict, error) {
+	v := &Verdict{Order: eng.orderN, FailedLevel: -1}
+	v.Steps = append(v.Steps, &StepReport{Level: 0})
+	for l := 1; l <= eng.orderN; l++ {
+		v.Steps = append(v.Steps, &StepReport{Level: l, Reduced: eng.reducedAt(l)})
+	}
+	final := eng.materializeFinal()
+	v.Fronts = []*Front{final}
+
+	if final.Len() != eng.rootCount {
+		return nil, fmt.Errorf("front: level %d front has %d nodes, want %d roots", eng.orderN, final.Len(), eng.rootCount)
+	}
+	serial, ok := final.SerialWitness()
+	if !ok {
+		// Cannot happen: every insert passed the CC sentinel.
+		return nil, fmt.Errorf("front: CC level-%d front has no topological order", eng.orderN)
+	}
+	v.Correct = true
+	v.SerialOrder = serial
+	return v, nil
+}
+
+// reducedAt lists the transactions entering the front at level l, per
+// ascending schedule, NodeIDs sorted — the arrival-order indices need an
+// explicit sort to reproduce the reference's lexicographic interning.
+func (eng *incEngine) reducedAt(l int) []model.NodeID {
+	var out []model.NodeID
+	for _, s := range eng.schedsAt[l] {
+		ids := make([]model.NodeID, 0, len(eng.txs[s]))
+		for _, t := range eng.txs[s] {
+			ids = append(ids, eng.ids[t])
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, ids...)
+	}
+	return out
+}
+
+// materializeFinal converts the level-N state to the string-keyed Front
+// of the public API, exactly as sysIndex.materialize does.
+func (eng *incEngine) materializeFinal() *Front {
+	st := eng.lv[eng.orderN]
+	out := &Front{
+		Level:    eng.orderN,
+		nodes:    make(map[model.NodeID]struct{}, st.nodes.Count()),
+		Obs:      order.New[model.NodeID](),
+		Con:      model.NewPairSet(),
+		WeakIn:   order.New[model.NodeID](),
+		StrongIn: order.New[model.NodeID](),
+	}
+	st.nodes.Each(func(i int) {
+		id := eng.ids[i]
+		out.nodes[id] = struct{}{}
+		out.Obs.AddNode(id)
+	})
+	st.obs.Each(func(i, j int) { out.Obs.Add(eng.ids[i], eng.ids[j]) })
+	st.con.Each(func(i, j int) {
+		if i < j {
+			out.Con.Add(eng.ids[i], eng.ids[j])
+		}
+	})
+	st.weakIn.Each(func(i, j int) { out.WeakIn.Add(eng.ids[i], eng.ids[j]) })
+	st.strongIn.Each(func(i, j int) { out.StrongIn.Add(eng.ids[i], eng.ids[j]) })
+	return out
+}

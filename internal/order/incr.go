@@ -1,0 +1,91 @@
+package order
+
+import "math/bits"
+
+// This file adds the two primitives the incremental Comp-C engine
+// (internal/front.Incremental) needs on top of the interned-index core:
+// growing the index space of a live relation without invalidating its
+// rows, and closure insertion that reports exactly the pairs it newly
+// derived (the frontier the engine propagates to the next reduction
+// level).
+
+// Grow returns a bitset able to hold indices [0, n), preserving the set
+// bits. The receiver is returned unchanged when it is already wide
+// enough; otherwise a widened copy is returned (the word-parallel
+// operators panic on mismatched lengths, so every bitset sharing an
+// index space must be regrown together).
+func (b Bitset) Grow(n int) Bitset {
+	words := (n + 63) / 64
+	if words <= len(b) {
+		return b
+	}
+	nb := make(Bitset, words)
+	copy(nb, b)
+	return nb
+}
+
+// Grow widens the index space to [0, n), keeping every pair. Allocated
+// rows are re-widened eagerly so they stay composable with fresh rows.
+func (r *IndexRelation) Grow(n int) {
+	if n <= r.n {
+		return
+	}
+	words := (n + 63) / 64
+	if words > r.words {
+		for i, row := range r.rows {
+			if row != nil {
+				r.rows[i] = row.Grow(n)
+			}
+		}
+	}
+	if n > len(r.rows) {
+		r.rows = append(r.rows, make([]Bitset, n-len(r.rows))...)
+	}
+	r.n, r.words = n, words
+}
+
+// Grow widens the index space of the closed relation (and its transpose)
+// to [0, n).
+func (c *ClosedRelation) Grow(n int) {
+	c.succ.Grow(n)
+	c.pred.Grow(n)
+}
+
+// InsertFunc is Insert with a delta callback: it adds (a, b), restores
+// transitive closure, and calls fn once for every pair (x, y) that was
+// NOT in the closure before this call and is now — including (a, b)
+// itself when it was new. Callback order is per-source ascending. The
+// callback must not mutate the relation.
+func (c *ClosedRelation) InsertFunc(a, b int, fn func(x, y int)) {
+	if c.succ.Has(a, b) {
+		return
+	}
+	// Snapshot before mutation, exactly as Insert does: the loops below
+	// modify the very rows the source/target sets are derived from.
+	targets := c.succ.Row(b).Clone()
+	if targets == nil {
+		targets = NewBitset(c.succ.n)
+	}
+	targets.Set(b)
+	sources := c.pred.Row(a).Clone()
+	if sources == nil {
+		sources = NewBitset(c.succ.n)
+	}
+	sources.Set(a)
+	sources.Each(func(x int) {
+		row := c.succ.MutRow(x)
+		for w, tw := range targets {
+			added := tw &^ row[w]
+			if added == 0 {
+				continue
+			}
+			row[w] |= added
+			for added != 0 {
+				y := w*64 + bits.TrailingZeros64(added)
+				added &= added - 1
+				fn(x, y)
+			}
+		}
+	})
+	targets.Each(func(y int) { c.pred.MutRow(y).Or(sources) })
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+)
+
+// Commit-time certification: with EnableCertify, every root commit is
+// validated against the Comp-C criterion *before* it is journaled and
+// published. The certifier holds a front.Incremental over the committed
+// history; at commit it derives the committing transaction's delta — the
+// same nodes, conflicts and weak output orders RecordedSystem would
+// derive from the staged events — and admits it. A violating interleaving
+// is rejected at the commit point with the checker's violation witness,
+// instead of being detected post-hoc; the transaction is rolled back like
+// a client abort and the committed history stays Comp-C by construction.
+
+// ErrCertifyViolation is the sentinel every CertifyError unwraps to.
+var ErrCertifyViolation = errors.New("sched: commit rejected by certifier")
+
+// CertifyError reports a commit rejected by the online certifier,
+// carrying the full Comp-C failure verdict as the violation witness.
+type CertifyError struct {
+	Root    model.NodeID   // rejected root transaction ("" for a seed history)
+	Verdict *front.Verdict // failure verdict over history + rejected commit
+}
+
+func (e *CertifyError) Error() string {
+	if e.Root == "" {
+		return fmt.Sprintf("sched: certifier rejected seed history: %s", e.Verdict.Reason)
+	}
+	return fmt.Sprintf("sched: commit of %s rejected: %s", e.Root, e.Verdict.Reason)
+}
+
+func (e *CertifyError) Unwrap() error { return ErrCertifyViolation }
+
+// certifier is the runtime's online Comp-C certifier. All access is
+// serialized under Runtime.mu: admits are part of the commit critical
+// section, so the admitted order is the commit order.
+type certifier struct {
+	inc *front.Incremental
+
+	// scheds tracks the component schedules already declared to the engine.
+	scheds map[string]bool
+	// index holds the admitted conflict-relevant events per (component,
+	// item) — the pairs a committing event must be checked against.
+	index map[string][]event
+
+	// The full admitted log. A rejection poisons the incremental engine
+	// (incorrectness is monotone), so the certifier rebuilds a clean
+	// engine from this log to keep certifying subsequent commits.
+	nodes  []nodeDecl
+	events []event
+}
+
+func newCertifier() *certifier {
+	return &certifier{
+		// PropagateInputs mirrors RecordedSystem's Definition 4 item 7
+		// propagation, so the certified history matches the recorder.
+		inc:    front.NewIncremental(front.IncrementalOptions{PropagateInputs: true}),
+		scheds: map[string]bool{},
+		index:  map[string][]event{},
+	}
+}
+
+func certKey(comp, item string) string { return comp + "\x00" + item }
+
+// admit decides one staged record against the admitted history. It
+// returns (nil, nil) and absorbs the stage when the extended history is
+// Comp-C, and the failure verdict when it is not — in which case the
+// stage is discarded and the engine is rebuilt over the admitted-only
+// history. An error reports a malformed stage (certifier state unchanged).
+func (c *certifier) admit(r *Runtime, stage *stagedRecord) (*front.Verdict, error) {
+	v, err := c.inc.Admit(c.buildDelta(r, stage))
+	if err != nil {
+		return nil, err
+	}
+	if v != nil {
+		if rerr := c.rebuild(r); rerr != nil {
+			return v, rerr
+		}
+		return v, nil
+	}
+	c.absorb(stage)
+	return nil, nil
+}
+
+// buildDelta derives the committing stage's system delta exactly as
+// RecordedSystem derives the full system: new component schedules, the
+// stage's forest nodes (parents first), and — per component, per item —
+// a conflict plus weak-output pair for every mode-conflicting event pair
+// with distinct parent transactions, directed by global sequence number.
+// Pairs against already-admitted events come from the index; pairs inside
+// the stage from a seq-ascending sweep.
+func (c *certifier) buildDelta(r *Runtime, stage *stagedRecord) *front.Delta {
+	d := &front.Delta{}
+	declared := map[string]bool{}
+	for _, n := range stage.nodes {
+		if n.sched != "" && !c.scheds[n.sched] && !declared[n.sched] {
+			declared[n.sched] = true
+			d.Schedules = append(d.Schedules, model.ScheduleID(n.sched))
+		}
+	}
+	for _, n := range orderDecls(stage.nodes) {
+		d.Nodes = append(d.Nodes, front.DeltaNode{
+			ID: n.id, Parent: n.parent, Sched: model.ScheduleID(n.sched),
+		})
+	}
+
+	evs := append([]event(nil), stage.events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	local := map[string][]event{}
+	for _, e := range evs {
+		key := certKey(e.comp, e.item)
+		for _, p := range c.index[key] {
+			c.pairInto(d, r, p, e)
+		}
+		for _, p := range local[key] {
+			c.pairInto(d, r, p, e)
+		}
+		local[key] = append(local[key], e)
+	}
+	return d
+}
+
+// pairInto appends the conflict and weak-output pair for two same-item
+// events of one component, if they belong to different parent
+// transactions and their modes conflict under the component's table. The
+// weak output order follows the global sequence, exactly as the
+// recorder's assembly sorts events by seq before pairing.
+func (c *certifier) pairInto(d *front.Delta, r *Runtime, p, e event) {
+	if p.parentTx == e.parentTx {
+		return
+	}
+	a, b := p, e
+	if b.seq < a.seq {
+		a, b = b, a
+	}
+	if !r.comps[a.comp].modes.ModeConflicts(a.mode, b.mode) {
+		return
+	}
+	dp := front.DeltaPair{Sched: model.ScheduleID(a.comp), A: a.op, B: b.op}
+	d.Conflicts = append(d.Conflicts, dp)
+	d.WeakOut = append(d.WeakOut, dp)
+}
+
+// absorb commits an admitted stage into the certifier's history.
+func (c *certifier) absorb(stage *stagedRecord) {
+	for _, n := range stage.nodes {
+		if n.sched != "" {
+			c.scheds[n.sched] = true
+		}
+	}
+	c.nodes = append(c.nodes, stage.nodes...)
+	for _, e := range stage.events {
+		key := certKey(e.comp, e.item)
+		c.index[key] = append(c.index[key], e)
+	}
+	c.events = append(c.events, stage.events...)
+}
+
+// rebuild replaces the poisoned engine with a fresh one seeded from the
+// admitted log (one big stage — its intra-stage sweep derives exactly the
+// pairs the per-commit admits derived). The admitted history was Comp-C
+// at every admit, so re-admitting it succeeds; anything else is a bug
+// surfaced as an error.
+func (c *certifier) rebuild(r *Runtime) error {
+	fresh := newCertifier()
+	if len(c.nodes) > 0 {
+		seed := &stagedRecord{nodes: c.nodes, events: c.events}
+		v, err := fresh.admit(r, seed)
+		if err != nil {
+			return fmt.Errorf("sched: certifier rebuild: %w", err)
+		}
+		if v != nil {
+			return fmt.Errorf("sched: certifier rebuild: admitted history re-verification failed: %s", v.Reason)
+		}
+	}
+	*c = *fresh
+	return nil
+}
+
+// orderDecls orders a stage's node declarations parents-first. The stage
+// declares leaves and events as they execute but a subtransaction only
+// after its subtree completes, so children can precede their parent;
+// the delta format requires the opposite. Unresolvable declarations are
+// appended as-is and surface as delta validation errors.
+func orderDecls(decls []nodeDecl) []nodeDecl {
+	out := make([]nodeDecl, 0, len(decls))
+	emitted := make(map[model.NodeID]bool, len(decls))
+	pending := append([]nodeDecl(nil), decls...)
+	for len(pending) > 0 {
+		progress := false
+		next := pending[:0]
+		for _, dcl := range pending {
+			if dcl.parent == "" || emitted[dcl.parent] {
+				out = append(out, dcl)
+				emitted[dcl.id] = true
+				progress = true
+			} else {
+				next = append(next, dcl)
+			}
+		}
+		if !progress {
+			return append(out, next...)
+		}
+		pending = next
+	}
+	return out
+}
+
+// EnableCertify switches the runtime into live certification mode: every
+// subsequent root commit is validated against Comp-C before it is
+// journaled and published, and a violating commit is rejected with a
+// CertifyError carrying the violation witness. An existing committed
+// history is admitted as the seed (after Recover, this rebuilds the
+// certifier over the recovered execution). Call before submitting
+// transactions — and before EnableWAL, so the log records the mode.
+func (r *Runtime) EnableCertify() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := newCertifier()
+	if len(r.rec.nodes) > 0 {
+		seed := &stagedRecord{nodes: r.rec.nodes, events: r.rec.events}
+		v, err := c.admit(r, seed)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			return &CertifyError{Verdict: v}
+		}
+	}
+	r.cert = c
+	return nil
+}
+
+// Certifying reports whether live certification is enabled.
+func (r *Runtime) Certifying() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cert != nil
+}
+
+// CertifiedSystem returns the certifier's accumulated composite system
+// (nil when certification is off). It equals RecordedSystem over the
+// same commits; callers must not mutate it.
+func (r *Runtime) CertifiedSystem() *model.System {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cert == nil {
+		return nil
+	}
+	return r.cert.inc.System()
+}
+
+// certify admits a committing attempt's staged record, serialized under
+// the runtime mutex so the admitted order is the commit order. A nil
+// return admits the commit; a CertifyError rejects it.
+func (r *Runtime) certify(a *attempt) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cert == nil {
+		return nil
+	}
+	v, err := r.cert.admit(r, a.stage)
+	if err != nil {
+		return err
+	}
+	if v != nil {
+		r.certRejects.Add(1)
+		return &CertifyError{Root: a.root, Verdict: v}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+)
+
+// submitCrossedWrites drives the Figure 3 interference of
+// TestOpenNestedUnsoundOnDiamond: two roots sharing no component
+// scheduler interleave crossed writes on the shared ledger. It returns
+// the two Submit errors.
+func submitCrossedWrites(t *testing.T, rt *Runtime, rootA, rootB string) (errA, errB error) {
+	t.Helper()
+	aWroteX := make(chan struct{})
+	bWroteY := make(chan struct{})
+	var onceX, onceY sync.Once
+
+	write := func(item string) *Invocation {
+		return &Invocation{Component: "ledger", Item: item, Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: item, Arg: 1}}}}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errA = rt.Submit(rootA, Invocation{
+			Component: "agencyA",
+			Steps: []Step{
+				{Invoke: write("x")},
+				{Sync: func() { onceX.Do(func() { close(aWroteX) }); <-bWroteY }, Invoke: write("y")},
+			},
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		_, errB = rt.Submit(rootB, Invocation{
+			Component: "agencyB",
+			Steps: []Step{
+				{Sync: func() { <-aWroteX }, Invoke: write("y")},
+				{Sync: func() { onceY.Do(func() { close(bWroteY) }) }, Invoke: write("x")},
+			},
+		})
+	}()
+	wg.Wait()
+	return errA, errB
+}
+
+// TestCertifyRejectsDiamondViolation is the tentpole's headline: the same
+// crossed-writes interleaving that TestOpenNestedUnsoundOnDiamond detects
+// post-hoc is rejected AT COMMIT TIME under certification — exactly one
+// of the two roots fails with a CertifyError carrying the violation
+// witness, and the committed history stays Comp-C.
+func TestCertifyRejectsDiamondViolation(t *testing.T) {
+	rt := DiamondTopology().NewRuntime(OpenNested)
+	if err := rt.EnableCertify(); err != nil {
+		t.Fatal(err)
+	}
+	errA, errB := submitCrossedWrites(t, rt, "TA", "TB")
+
+	var rejected []error
+	for _, err := range []error{errA, errB} {
+		if err != nil {
+			rejected = append(rejected, err)
+		}
+	}
+	if len(rejected) != 1 {
+		t.Fatalf("want exactly one rejected commit, got errors: A=%v B=%v", errA, errB)
+	}
+	var cerr *CertifyError
+	if !errors.As(rejected[0], &cerr) || !errors.Is(rejected[0], ErrCertifyViolation) {
+		t.Fatalf("rejection is not a CertifyError: %v", rejected[0])
+	}
+	if cerr.Verdict == nil || cerr.Verdict.Correct || cerr.Verdict.Reason == "" {
+		t.Fatalf("rejection carries no violation witness: %+v", cerr.Verdict)
+	}
+
+	m := rt.Metrics()
+	if m.CertifyRejects != 1 {
+		t.Fatalf("certify-rejects = %d, want 1", m.CertifyRejects)
+	}
+	if m.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", m.Commits)
+	}
+	// The rejected transaction was rolled back: the committed history —
+	// recorder and certifier views alike — is Comp-C.
+	sys := rt.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("committed history malformed: %v", err)
+	}
+	ok, err := front.IsCompC(sys)
+	if err != nil || !ok {
+		t.Fatalf("committed history after rejection must be Comp-C (ok=%v err=%v)", ok, err)
+	}
+	if cs := rt.CertifiedSystem(); cs == nil || cs.NumNodes() != sys.NumNodes() {
+		t.Fatalf("certifier history diverged from recorder (certified=%v)", cs)
+	}
+}
+
+// TestCertifyAdmitsCorrectWorkloads runs a real concurrent workload under
+// a sound protocol with certification on: nothing may be rejected, every
+// commit goes through, and the certifier's accumulated system matches the
+// recorded one.
+func TestCertifyAdmitsCorrectWorkloads(t *testing.T) {
+	for _, p := range []Protocol{ClosedNested, Hybrid} {
+		t.Run(p.String(), func(t *testing.T) {
+			topo := DiamondTopology()
+			rt := topo.NewRuntime(p)
+			if err := rt.EnableCertify(); err != nil {
+				t.Fatal(err)
+			}
+			progs := GenPrograms(topo, WorkloadParams{
+				Roots: 20, StepsPerTx: 3, Items: 4,
+				ReadRatio: 0.3, WriteRatio: 0.3, Seed: 11,
+			})
+			if err := Run(rt, progs, 8); err != nil {
+				t.Fatal(err)
+			}
+			m := rt.Metrics()
+			if m.Commits != 20 || m.CertifyRejects != 0 {
+				t.Fatalf("commits=%d rejects=%d, want 20/0", m.Commits, m.CertifyRejects)
+			}
+			sys := rt.RecordedSystem()
+			cs := rt.CertifiedSystem()
+			if cs.NumNodes() != sys.NumNodes() {
+				t.Fatalf("certifier has %d nodes, recorder %d", cs.NumNodes(), sys.NumNodes())
+			}
+			wantV, wantErr := front.Check(sys, front.Options{})
+			gotV, gotErr := front.Check(cs, front.Options{})
+			if wantErr != nil || gotErr != nil || !wantV.Correct || !gotV.Correct {
+				t.Fatalf("verdicts differ: recorder (%v,%v), certifier (%v,%v)", wantV, wantErr, gotV, gotErr)
+			}
+		})
+	}
+}
+
+// TestCertifySurvivesRecover checks the durability story: certify mode is
+// journaled in the WAL metadata, Recover rebuilds the certifier over the
+// recovered committed history, and the recovered runtime keeps rejecting
+// violating interleavings at commit time.
+func TestCertifySurvivesRecover(t *testing.T) {
+	dir := t.TempDir()
+	rt := DiamondTopology().NewRuntime(OpenNested)
+	if err := rt.EnableCertify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EnableWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// One benign committed transaction forms the pre-crash history.
+	if _, err := rt.Submit("T-pre", Invocation{
+		Component: "agencyA",
+		Steps: []Step{{Invoke: &Invocation{Component: "ledger", Item: "x", Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "x", Arg: 5}}}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := rec.Runtime
+	if !rt2.Certifying() {
+		t.Fatal("recovered runtime lost certify mode")
+	}
+	if cs := rt2.CertifiedSystem(); cs == nil || cs.NumNodes() != rec.System.NumNodes() {
+		t.Fatalf("recovered certifier not seeded from recovered history (certified=%v, want %d nodes)",
+			cs, rec.System.NumNodes())
+	}
+
+	// The recovered certifier still rejects the crossed-writes violation.
+	errA, errB := submitCrossedWrites(t, rt2, "TA2", "TB2")
+	rejects := 0
+	for _, err := range []error{errA, errB} {
+		if err != nil {
+			if !errors.Is(err, ErrCertifyViolation) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			rejects++
+		}
+	}
+	if rejects != 1 {
+		t.Fatalf("want exactly one rejected commit on the recovered runtime, got %d (A=%v B=%v)", rejects, errA, errB)
+	}
+	sys := rt2.RecordedSystem()
+	ok, err := front.IsCompC(sys)
+	if err != nil || !ok {
+		t.Fatalf("recovered+certified history must be Comp-C (ok=%v err=%v)", ok, err)
+	}
+}

@@ -14,23 +14,45 @@ import (
 // timestamp.
 var ErrDie = errors.New("sched: transaction sacrificed by wait-die")
 
+// lockShardCount is the number of hash stripes per manager. Sixteen keeps
+// the fixed footprint tiny (a manager exists per component) while giving
+// parallel acquisitions on distinct items independent mutexes.
+const lockShardCount = 16
+
 // lockManager is a semantic lock manager: lock modes are operation modes
 // and compatibility is the component's commutativity table. Deadlocks are
 // prevented with the wait-die policy keyed on root-transaction timestamps;
 // a transaction that keeps its timestamp across retries eventually becomes
 // the oldest and succeeds.
+//
+// The item table is hash-striped: every item maps to one of
+// lockShardCount shards, each with its own mutex and condition variable,
+// so concurrent acquisitions on distinct items contend only on their
+// stripe instead of one manager-wide mutex. Item-wise operations
+// (acquire) touch one shard; owner-wise operations (release, heldBy)
+// sweep all shards — they run once per (sub)transaction, not per lock.
 type lockManager struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	items map[string][]lockEntry
-
-	waits int64 // number of times a request had to wait (metrics)
+	shards [lockShardCount]lockShard
 
 	// crashed, when set by the runtime, is its crash flag: a simulated
 	// process crash (FaultCrash) abandons locks without releasing them,
 	// so waiters must drain with ErrCrashed instead of blocking on locks
 	// nobody will ever release. Nil for standalone managers (tests).
 	crashed *atomic.Bool
+}
+
+// lockShard is one stripe of the item table.
+type lockShard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items map[string][]lockEntry
+	waits int64 // number of times a request had to wait (metrics)
+
+	// n counts live entries. Owner-wise sweeps (release, heldBy) load it
+	// to skip empty shards without taking the mutex: an owner's own
+	// entries are always counted from its perspective, because the whole
+	// attempt — acquires and the final release — runs on one goroutine.
+	n atomic.Int64
 }
 
 type lockEntry struct {
@@ -40,9 +62,23 @@ type lockEntry struct {
 }
 
 func newLockManager() *lockManager {
-	lm := &lockManager{items: make(map[string][]lockEntry)}
-	lm.cond = sync.NewCond(&lm.mu)
+	lm := &lockManager{}
+	for i := range lm.shards {
+		s := &lm.shards[i]
+		s.items = make(map[string][]lockEntry)
+		s.cond = sync.NewCond(&s.mu)
+	}
 	return lm
+}
+
+// shardOf maps an item to its stripe (inline FNV-1a; allocation-free).
+func (lm *lockManager) shardOf(item string) *lockShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h ^= uint32(item[i])
+		h *= 16777619
+	}
+	return &lm.shards[h%lockShardCount]
 }
 
 // acquire blocks until the lock (item, mode) is granted to owner, or
@@ -61,8 +97,9 @@ func (lm *lockManager) acquire(table *data.ModeTable, item string, mode data.Mod
 // acquireUntil is acquire with a deadline: a request still waiting when
 // the deadline passes returns ErrTimeout instead of blocking forever. A
 // zero deadline waits indefinitely. The deadline timer broadcasts on the
-// manager's cond so sleeping waiters re-check promptly.
+// item's shard so sleeping waiters re-check promptly.
 func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode data.Mode, owner string, ts uint64, pol DeadlockPolicy, wg *waitGraph, deadline time.Time) error {
+	sh := lm.shardOf(item)
 	var timer *time.Timer
 	if !deadline.IsZero() {
 		d := time.Until(deadline)
@@ -70,14 +107,14 @@ func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode dat
 			return ErrTimeout
 		}
 		timer = time.AfterFunc(d, func() {
-			lm.mu.Lock()
-			lm.cond.Broadcast()
-			lm.mu.Unlock()
+			sh.mu.Lock()
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
 		})
 		defer timer.Stop()
 	}
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	waited := false
 	for {
 		if lm.crashed != nil && lm.crashed.Load() {
@@ -88,7 +125,7 @@ func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode dat
 		}
 		var holders []uint64
 		die := false
-		for _, e := range lm.items[item] {
+		for _, e := range sh.items[item] {
 			if e.owner == owner || e.ts == ts {
 				continue // same transaction (possibly a different level)
 			}
@@ -107,70 +144,95 @@ func (lm *lockManager) acquireUntil(table *data.ModeTable, item string, mode dat
 			if pol == DetectWFG && wg != nil {
 				wg.clear(ts)
 			}
-			lm.items[item] = append(lm.items[item], lockEntry{mode: mode, owner: owner, ts: ts})
+			sh.items[item] = append(sh.items[item], lockEntry{mode: mode, owner: owner, ts: ts})
+			sh.n.Add(1)
 			return nil
 		}
 		if pol == DetectWFG && wg != nil && wg.setWaits(ts, holders) {
 			return ErrDie // this wait would close a deadlock cycle
 		}
 		if !waited {
-			lm.waits++
+			sh.waits++
 			waited = true
 		}
-		lm.cond.Wait()
+		sh.cond.Wait()
 	}
 }
 
-// release drops every lock held by owner and wakes waiters.
+// release drops every lock held by owner and wakes waiters. Owners are
+// not tracked per shard, so this sweeps all stripes — one sweep per
+// (sub)transaction completion.
 func (lm *lockManager) release(owner string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	changed := false
-	for item, entries := range lm.items {
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.owner == owner {
-				changed = true
-				continue
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		if sh.n.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		changed := false
+		for item, entries := range sh.items {
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.owner == owner {
+					changed = true
+					sh.n.Add(-1)
+					continue
+				}
+				kept = append(kept, e)
 			}
-			kept = append(kept, e)
+			if len(kept) == 0 {
+				delete(sh.items, item)
+			} else {
+				sh.items[item] = kept
+			}
 		}
-		if len(kept) == 0 {
-			delete(lm.items, item)
-		} else {
-			lm.items[item] = kept
+		if changed {
+			sh.cond.Broadcast()
 		}
-	}
-	if changed {
-		lm.cond.Broadcast()
+		sh.mu.Unlock()
 	}
 }
 
-// wake broadcasts without changing lock state, so sleeping waiters
-// re-check the crash flag.
+// wake broadcasts on every shard without changing lock state, so sleeping
+// waiters re-check the crash flag.
 func (lm *lockManager) wake() {
-	lm.mu.Lock()
-	lm.cond.Broadcast()
-	lm.mu.Unlock()
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
 // heldBy reports whether owner holds any lock (tests).
 func (lm *lockManager) heldBy(owner string) bool {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for _, entries := range lm.items {
-		for _, e := range entries {
-			if e.owner == owner {
-				return true
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		if sh.n.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		for _, entries := range sh.items {
+			for _, e := range entries {
+				if e.owner == owner {
+					sh.mu.Unlock()
+					return true
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return false
 }
 
 // waitCount returns how many requests had to wait.
 func (lm *lockManager) waitCount() int64 {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return lm.waits
+	var n int64
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		sh.mu.Lock()
+		n += sh.waits
+		sh.mu.Unlock()
+	}
+	return n
 }

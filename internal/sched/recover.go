@@ -291,6 +291,14 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 	if !verdict.Correct {
 		return out, ErrRecoveredViolation
 	}
+	// Certify mode survives the crash: rebuild the certifier over the
+	// recovered committed history, so the recovered runtime keeps
+	// rejecting violating commits exactly where the crashed one would.
+	if meta.Certify {
+		if err := rt.EnableCertify(); err != nil {
+			return out, fmt.Errorf("sched: rebuilding certifier from recovered history: %w", err)
+		}
+	}
 	return out, nil
 }
 

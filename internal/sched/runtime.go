@@ -132,6 +132,10 @@ type Metrics struct {
 	// Durability counters (zero unless a WAL is attached / a crash fired).
 	WALRecords int64 // records journaled (including those recovered at open)
 	Crashes    int64 // simulated crashes (FaultCrash); at most 1 per runtime
+
+	// CertifyRejects counts commits rejected by the live certifier (zero
+	// unless EnableCertify is on and a violation was attempted).
+	CertifyRejects int64
 }
 
 // String renders the metrics as one key=value line (compsim's summary
@@ -146,6 +150,9 @@ func (m Metrics) String() string {
 	}
 	if m.WALRecords+m.Crashes > 0 {
 		fmt.Fprintf(&b, " wal-records=%d crashes=%d", m.WALRecords, m.Crashes)
+	}
+	if m.CertifyRejects > 0 {
+		fmt.Fprintf(&b, " certify-rejects=%d", m.CertifyRejects)
 	}
 	return b.String()
 }
@@ -169,8 +176,11 @@ type Runtime struct {
 	subRetries   atomic.Int64
 	compFailures atomic.Int64
 
-	mu  sync.Mutex
-	rec *recorder
+	mu   sync.Mutex
+	rec  *recorder
+	cert *certifier // live Comp-C certification (nil = off); see EnableCertify
+
+	certRejects atomic.Int64
 
 	wfg *waitGraph
 
@@ -280,6 +290,7 @@ func (r *Runtime) Metrics() Metrics {
 		SubRetries:           r.subRetries.Load(),
 		CompensationFailures: r.compFailures.Load(),
 		Crashes:              r.crashes.Load(),
+		CertifyRejects:       r.certRejects.Load(),
 	}
 	if r.wal != nil {
 		m.WALRecords = int64(r.wal.Records())

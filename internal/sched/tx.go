@@ -152,6 +152,15 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
 		err := r.exec(a, rootID, string(rootID), root, deadline)
 		if err == nil {
+			// Commit-time certification (EnableCertify): the staged record
+			// is admitted against the Comp-C criterion before anything of
+			// the commit becomes durable. A rejected commit rolls back like
+			// a client abort — the violation witness rides the error.
+			if cerr := r.certify(a); cerr != nil {
+				r.rollback(a)
+				r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
+				return nil, cerr
+			}
 			// Crash site "commit": fires before the commit batch is
 			// journaled, so recovery must undo this transaction.
 			r.fireCrash("", string(rootID), "commit", nil)

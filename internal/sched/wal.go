@@ -48,6 +48,10 @@ type walMeta struct {
 	Version  int          `json:"version"`
 	Protocol string       `json:"protocol"`
 	Topology topologyJSON `json:"topology"`
+	// Certify records live-certification mode (EnableCertify before
+	// EnableWAL), so Recover rebuilds the certifier over the recovered
+	// history.
+	Certify bool `json:"certify,omitempty"`
 }
 
 // EnableWAL attaches a fresh write-ahead log to the runtime: a metadata
@@ -63,7 +67,7 @@ func (r *Runtime) EnableWAL(cfg WALConfig) error {
 		l.Close()
 		return fmt.Errorf("%w: %q holds %d records", ErrWALExists, cfg.Dir, existing)
 	}
-	meta := walMeta{Version: 1, Protocol: r.protocol.String(), Topology: topologyToDoc(r.topo)}
+	meta := walMeta{Version: 1, Protocol: r.protocol.String(), Topology: topologyToDoc(r.topo), Certify: r.Certifying()}
 	blob, err := json.Marshal(meta)
 	if err != nil {
 		l.Close()

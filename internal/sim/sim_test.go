@@ -5,6 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"compositetx/internal/sched"
 )
 
 func TestE1Figure3Fails(t *testing.T) {
@@ -169,6 +172,41 @@ func TestE11CrashMatrixRecoversEverywhere(t *testing.T) {
 		if c := row[len(row)-2]; c != "conserved" {
 			t.Fatalf("crash cell broke escrow conservation: %v", row)
 		}
+	}
+}
+
+func TestE12IncrementalBeatsFullRecheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 times two full certification sweeps per stream; skipped in -short")
+	}
+	streams := e12Streams()
+	last := streams[len(streams)-1]
+	if n := last.NumNodes(); n < 256 {
+		t.Fatalf("largest E12 stream has %d nodes, want >= 256 for the scaling claim", n)
+	}
+	c := measureIncremental(last, 50*time.Millisecond)
+	// The committed claim is >=10x at 256+ nodes (BENCH_checker.json);
+	// the test gate is looser so slow CI machines don't flake.
+	if c.speedup() < 5 {
+		t.Fatalf("incremental speedup %.1fx at %d nodes; want clearly amortized (>=5x)", c.speedup(), c.nodes)
+	}
+}
+
+func TestE12CertifiedRuntimeStaysSound(t *testing.T) {
+	cfg := RunConfig{Roots: 40, StepsPerTx: 3, Items: 4, Clients: 8,
+		ReadRatio: 0.3, WriteRatio: 0.2, Seed: 3}
+	c := measureCertify("diamond", func() *sched.Topology { return sched.DiamondTopology() }, cfg)
+	if c.plainTps == 0 || c.certTps == 0 {
+		t.Fatalf("certify measurement did not complete: %+v", c)
+	}
+	if !c.certified {
+		t.Fatalf("certified hybrid run must stay Comp-C: %+v", c)
+	}
+	if c.rejects != 0 {
+		t.Fatalf("hybrid is sound; certifier rejected %d commits", c.rejects)
+	}
+	if c.commits != int64(cfg.Roots) {
+		t.Fatalf("commits = %d, want %d", c.commits, cfg.Roots)
 	}
 }
 

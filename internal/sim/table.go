@@ -1,6 +1,6 @@
 // Package sim is the experiment harness: it regenerates every artifact in
 // the reproduction's experiment index (DESIGN.md §6, EXPERIMENTS.md) as a
-// formatted table (E1–E11). The cmd/compbench tool and the top-level benchmarks are
+// formatted table (E1–E12). The cmd/compbench tool and the top-level benchmarks are
 // thin wrappers around this package.
 package sim
 
@@ -100,5 +100,6 @@ func All() []*Table {
 		E7CheckerScaling(),
 		E8Coverage(12),
 		E9Deadlock(DefaultRunConfig()),
+		E12Incremental(DefaultRunConfig()),
 	}
 }

@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
 // Type names a WAL record kind. The log is typed so recovery can rebuild
@@ -121,6 +122,22 @@ func appendBody(b []byte, r Record) []byte {
 	b = binary.AppendVarint(b, r.Prev)
 	b = binary.AppendUvarint(b, r.Seq)
 	b = binary.AppendUvarint(b, r.Ref)
+	return b
+}
+
+// appendFrame serializes one framed record directly onto b: the 8-byte
+// header is reserved first, the body is encoded in place behind it, and
+// the length and CRC are backfilled over the reserved bytes. Encoding
+// straight into the caller's buffer (the log's write buffer) avoids a
+// per-record scratch encode plus copy.
+func appendFrame(b []byte, r Record) []byte {
+	hdr := len(b)
+	var zero [frameHeaderLen]byte
+	b = append(b, zero[:]...)
+	b = appendBody(b, r)
+	body := b[hdr+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(b[hdr:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(b[hdr+4:], crc32.ChecksumIEEE(body))
 	return b
 }
 

@@ -95,7 +95,6 @@ type Log struct {
 	size     int64  // segment offset including buffered bytes
 	flushed  int64  // segment offset written to the file
 	synced   int64  // segment offset known durable (fsynced)
-	scratch  []byte // reusable encode buffer
 	lsn      uint64 // records appended over the log's lifetime
 	sinceSyn int
 
@@ -222,14 +221,9 @@ func (l *Log) appendLocked(rec Record) (uint64, error) {
 			return 0, err
 		}
 	}
-	l.scratch = appendBody(l.scratch[:0], rec)
-	body := l.scratch
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
-	l.buf = append(l.buf, hdr[:]...)
-	l.buf = append(l.buf, body...)
-	l.size += int64(frameHeaderLen + len(body))
+	n := len(l.buf)
+	l.buf = appendFrame(l.buf, rec)
+	l.size += int64(len(l.buf) - n)
 	l.lsn++
 	l.sinceSyn++
 	if l.opts.SyncEvery > 0 && l.sinceSyn >= l.opts.SyncEvery {
@@ -340,14 +334,8 @@ func (l *Log) Abandon(torn *Record) {
 	l.buf = nil
 	l.f.Truncate(l.synced)
 	if torn != nil {
-		body := appendBody(nil, *torn)
-		frame := make([]byte, 0, frameHeaderLen+len(body))
-		var hdr [frameHeaderLen]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
-		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
-		frame = append(frame, hdr[:]...)
-		frame = append(frame, body...)
-		cut := frameHeaderLen + len(body)/2
+		frame := appendFrame(nil, *torn)
+		cut := frameHeaderLen + (len(frame)-frameHeaderLen)/2
 		if cut >= len(frame) {
 			cut = len(frame) - 1
 		}

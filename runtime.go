@@ -56,6 +56,12 @@ type (
 	// RecoveryStats summarizes one recovery pass.
 	RecoveryStats = sched.RecoveryStats
 
+	// CertifyError is the commit-time rejection of live certification
+	// (Runtime.EnableCertify): it names the rejected root and carries the
+	// Comp-C violation witness. Matches ErrCertifyViolation with
+	// errors.Is.
+	CertifyError = sched.CertifyError
+
 	// Op is a data-store operation; Mode its semantic class.
 	Op = data.Op
 	// Mode names the semantic class of an operation.
@@ -105,6 +111,10 @@ var (
 	// ErrRecoveredViolation flags a recovered execution that fails the
 	// Comp-C check (the Recovered value is still returned).
 	ErrRecoveredViolation = sched.ErrRecoveredViolation
+	// ErrCertifyViolation is returned by Submit when live certification
+	// (EnableCertify) rejects the commit: admitting it would make the
+	// committed execution violate Comp-C. The transaction is rolled back.
+	ErrCertifyViolation = sched.ErrCertifyViolation
 )
 
 // Recover rebuilds a runtime — stores and recorded execution — from a
