@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash bench benchsmoke experiments clean
+.PHONY: all build test verify race chaos crash mvcc bench benchsmoke experiments clean
 
 all: build test
 
@@ -33,19 +33,30 @@ crash:
 	$(GO) test -race -count=1 -run 'TestCrash|TestRecover|TestDeterministicReplay|TestEnableWAL' ./internal/sched
 	$(GO) test -race -count=1 -run 'TestE11' ./internal/sim
 
+# mvcc runs the multi-version data layer and optimistic-execution suite
+# under the race detector: version-chain/clock/claim unit tests in
+# internal/data, the sched validation suite (consistent committed prefix,
+# read-your-writes, deterministic validation aborts, refresh, escrow
+# netting, certified optimistic runs, seeded faults, crash recovery), and
+# the E13 throughput gate (mvcc must beat lock-only at 90% reads).
+mvcc:
+	$(GO) test -race -count=1 ./internal/data
+	$(GO) test -race -count=1 -run 'TestMVCC' ./internal/sched
+	$(GO) test -count=1 -run 'TestE13' ./internal/sim
+
 # race runs only the parallel-path packages under the race detector —
 # quicker than verify when iterating on sched or front.
 race:
 	$(GO) test -race ./internal/sched ./internal/front .
 
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
-# chaos-recovery, E11 crash-matrix and E12 online-certification tables,
-# plus checker, incremental-certification and WAL microbenchmarks (ns/op,
-# CheckBatch worker scaling, E12 incremental-vs-full per-commit cost, WAL
-# append under each group-commit setting, full crash recovery). See
-# DESIGN.md §6.1.
+# chaos-recovery, E11 crash-matrix, E12 online-certification and E13
+# MVCC-vs-lock tables, plus checker, incremental-certification and WAL
+# microbenchmarks (ns/op, CheckBatch worker scaling, E12 incremental-vs-
+# full per-commit cost, WAL append under each group-commit setting, full
+# crash recovery). See DESIGN.md §6.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13 -json BENCH_checker.json
 
 # benchsmoke runs every benchmark for exactly one iteration — a CI smoke
 # test that the bench harness still compiles and completes, not a
@@ -53,7 +64,7 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# experiments regenerates every E1-E12 table on stdout.
+# experiments regenerates every E1-E13 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

@@ -311,3 +311,50 @@ func BenchmarkE10Chaos(b *testing.B) {
 	}
 	b.ReportMetric(float64(faults)/float64(b.N), "faults/run")
 }
+
+// BenchmarkE13MVCC measures runtime throughput per execution mode on the
+// E13 shared-pool workload (90% reads, 1ms per-step think time, 16 hot
+// items, 8 CPUs as in EXPERIMENTS.md E13): "pessimistic" serializes
+// reads through semantic read locks, "optimistic" serves them from MVCC
+// snapshots validated at commit, so reads neither queue behind writers
+// nor make writers queue behind the reader crowd. The recorded execution
+// of every iteration must stay Comp-C (checked off the timer).
+func BenchmarkE13MVCC(b *testing.B) {
+	for _, mode := range []ctx.ExecMode{ctx.ExecPessimistic, ctx.ExecOptimistic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			// The harness pins GOMAXPROCS to the -cpu list (default 1)
+			// before each sub-benchmark, so the E13 setting must be
+			// re-applied here, inside the closure.
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+			const (
+				roots   = 240
+				clients = 16
+				seed    = 11
+			)
+			committed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				topo := sched.StackTopology(1)
+				rt := topo.NewRuntime(sched.OpenNested)
+				rt.Exec = mode
+				progs := sched.GenPrograms(topo, sched.WorkloadParams{
+					Roots: roots, StepsPerTx: 4, Items: 16,
+					ReadRatio: 0.9, WriteRatio: 0.1, Seed: seed,
+				})
+				progs = sched.Jitter(progs, time.Millisecond, seed)
+				if err := sched.Run(rt, progs, clients); err != nil {
+					b.Fatal(err)
+				}
+				committed += roots
+				b.StopTimer()
+				sys := rt.RecordedSystem()
+				if ok, err := front.IsCompC(sys); err != nil || !ok {
+					b.Fatalf("run must stay Comp-C: %v, %v", ok, err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}

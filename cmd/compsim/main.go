@@ -176,6 +176,7 @@ func main() {
 	crashTear := flag.Bool("crash-tear", false, "tear the WAL record mid-append when the crash fires")
 	recoverDir := flag.String("recover", "", "recover from a WAL directory, report, and exit")
 	certify := flag.Bool("certify", false, "certify every commit online against Comp-C and reject violating ones")
+	optimistic := flag.Bool("optimistic", false, "serve leaf reads from MVCC snapshots and validate them at commit instead of taking semantic read locks")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -238,6 +239,9 @@ func main() {
 		exit(2)
 	}
 	rt.OpTimeout = *opTimeout
+	if *optimistic {
+		rt.Exec = ctx.ExecOptimistic
+	}
 	if *certify {
 		if err := rt.EnableCertify(); err != nil {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)

@@ -92,6 +92,35 @@ func EscrowTable() *ModeTable {
 		Declare(ModeAudit, ModeAudit)
 }
 
+// EscrowCounterTable is the derived conflict specification for the
+// bounded escrow counter (ModeReserve / ModeRelease), following Malta &
+// Martinez's recipe of deriving commutativity from outcome preservation
+// on the bounded ADT:
+//
+//   - reserve/reserve commute: in the committed projection both succeeded,
+//     and two successful subtractions commute (a reserve that would break
+//     the bound fails physically at apply time — ErrInsufficient — and
+//     never commits, so commit-time order does not change outcomes);
+//   - release/release commute: additions always commute;
+//   - reserve/release conflict: moving a release across a reserve can flip
+//     the reserve between success and ErrInsufficient — the bound is
+//     exactly where commutativity of the unbounded counter breaks down;
+//   - read conflicts with both, as it observes the balance.
+func EscrowCounterTable() *ModeTable {
+	return NewModeTable().
+		Declare(ModeReserve, ModeRelease).
+		Declare(ModeRead, ModeReserve).
+		Declare(ModeRead, ModeRelease).
+		Declare(ModeRead, ModeWrite).
+		Declare(ModeRead, ModeIncr).
+		Declare(ModeWrite, ModeWrite).
+		Declare(ModeWrite, ModeIncr).
+		Declare(ModeWrite, ModeReserve).
+		Declare(ModeWrite, ModeRelease).
+		Declare(ModeIncr, ModeReserve).
+		Declare(ModeIncr, ModeRelease)
+}
+
 // Pairs returns the declared conflicts as canonical (sorted) mode pairs,
 // in lexicographic order — the serialization the topology codec persists.
 func (t *ModeTable) Pairs() [][2]Mode {

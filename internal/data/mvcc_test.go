@@ -1,0 +1,331 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestVersionChainReadAt: mutations install stamped versions; ReadAt
+// returns the newest version at or below a stamp, 0 before the first.
+func TestVersionChainReadAt(t *testing.T) {
+	s := NewStore()
+	stamps := make([]uint64, 0, 3)
+	for _, arg := range []int64{10, 20, 30} {
+		res, err := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: arg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TS == 0 {
+			t.Fatal("mutation result must carry a version stamp")
+		}
+		stamps = append(stamps, res.TS)
+	}
+	if s.VersionCount("x") != 3 {
+		t.Fatalf("versions = %d, want 3", s.VersionCount("x"))
+	}
+	if got := s.ReadAt("x", stamps[0]-1); got != 0 {
+		t.Fatalf("ReadAt before first version = %d, want 0", got)
+	}
+	for i, want := range []int64{10, 20, 30} {
+		if got := s.ReadAt("x", stamps[i]); got != want {
+			t.Fatalf("ReadAt(%d) = %d, want %d", stamps[i], got, want)
+		}
+	}
+	if got := s.ReadAt("x", s.Clock()+100); got != 30 {
+		t.Fatalf("ReadAt(future) = %d, want 30", got)
+	}
+	if s.Clock() != stamps[2] {
+		t.Fatalf("Clock = %d, want %d", s.Clock(), stamps[2])
+	}
+}
+
+// TestClockMonotoneUnderConcurrency: the clock never runs ahead of
+// installed versions — a reader that loads Clock()=T sees every version
+// with stamp <= T (the consistent-prefix invariant), checked here by
+// hammering ReadAt against concurrent writers. Run with -race.
+func TestClockMonotoneUnderConcurrency(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	// Each writer bumps one of two items; readers check that a snapshot
+	// at Clock() is repeatable (two ReadAts at the same stamp agree even
+	// as writers append).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				item := "a"
+				if (i+w)%2 == 0 {
+					item = "b"
+				}
+				if _, err := s.Apply(Op{Mode: ModeIncr, Item: item, Arg: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				ts := s.Clock()
+				a1, b1 := s.ReadAt("a", ts), s.ReadAt("b", ts)
+				a2, b2 := s.ReadAt("a", ts), s.ReadAt("b", ts)
+				if a1 != a2 || b1 != b2 {
+					t.Errorf("snapshot at %d not repeatable: (%d,%d) vs (%d,%d)", ts, a1, b1, a2, b2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConflictSince: only versions after the stamp whose mode conflicts
+// under the table invalidate; own stamps are skipped.
+func TestConflictSince(t *testing.T) {
+	s := NewStore()
+	table := SemanticTable()
+	r1, _ := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1})
+	since := r1.TS
+	// Commuting traffic after the snapshot: incr does not conflict with incr.
+	s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1})
+	if s.ConflictSince("x", since, ModeIncr, table, nil) {
+		t.Fatal("incr/incr must not invalidate")
+	}
+	// But it does conflict with a read snapshot.
+	if !s.ConflictSince("x", since, ModeRead, table, nil) {
+		t.Fatal("read must be invalidated by a later incr")
+	}
+	// Own writes are excluded via the skip set.
+	r3, _ := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: 9})
+	skip := map[uint64]bool{r3.TS: true}
+	if s.ConflictSince("x", r3.TS, ModeRead, table, skip) {
+		t.Fatal("nothing after own write: must not invalidate")
+	}
+	if !s.ConflictSince("x", since, ModeIncr, table, nil) {
+		t.Fatal("without the skip set, the intervening write must invalidate an incr")
+	}
+}
+
+// TestReserveRelease: the bounded escrow counter — reserve enforces the
+// bound atomically without mutating on failure, release restores it.
+func TestReserveRelease(t *testing.T) {
+	s := NewStore()
+	s.Set("tickets", 10)
+	if _, err := s.Apply(Op{Mode: ModeReserve, Item: "tickets", Arg: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Op{Mode: ModeReserve, Item: "tickets", Arg: 7}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("over-reserve = %v, want ErrInsufficient", err)
+	}
+	if got := s.Get("tickets"); got != 6 {
+		t.Fatalf("failed reserve mutated the store: %d, want 6", got)
+	}
+	if _, err := s.Apply(Op{Mode: ModeRelease, Item: "tickets", Arg: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Op{Mode: ModeReserve, Item: "tickets", Arg: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get("tickets"); got != 0 {
+		t.Fatalf("tickets = %d, want 0", got)
+	}
+	if _, err := s.Apply(Op{Mode: ModeReserve, Item: "tickets", Arg: -1}); err == nil {
+		t.Fatal("negative reserve must be rejected")
+	}
+	if _, err := s.Apply(Op{Mode: ModeRelease, Item: "tickets", Arg: -1}); err == nil {
+		t.Fatal("negative release must be rejected")
+	}
+}
+
+// TestInverseKeepsSemanticMode is the regression for Inverse dropping the
+// domain-specific Mode/Impl: the compensation of an escrow deposit must
+// still be classified as a deposit, not a bare incr.
+func TestInverseKeepsSemanticMode(t *testing.T) {
+	s := NewStore()
+	op := Op{Mode: ModeDeposit, Impl: ModeIncr, Item: "acct", Arg: 10}
+	res, err := s.Apply(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, ok := Inverse(op, res)
+	if !ok {
+		t.Fatal("deposit must have an inverse")
+	}
+	if inv.Mode != ModeDeposit || inv.Impl != ModeIncr || inv.Arg != -10 {
+		t.Fatalf("inverse = %+v, want Mode=deposit Impl=incr Arg=-10", inv)
+	}
+	// The escrow table must classify the compensation like the original:
+	// conflicting with audits, commuting with other deposits.
+	table := EscrowTable()
+	if !table.ModeConflicts(inv.Mode, ModeAudit) {
+		t.Fatal("compensated deposit must conflict with audit")
+	}
+	if table.ModeConflicts(inv.Mode, ModeDeposit) {
+		t.Fatal("compensated deposit must commute with deposits")
+	}
+
+	// Writes and increments preserve Mode/Impl too.
+	wop := Op{Mode: ModeWithdraw, Impl: ModeWrite, Item: "acct", Arg: 3}
+	wres := Result{Prev: 10}
+	winv, _ := Inverse(wop, wres)
+	if winv.Mode != ModeWithdraw || winv.Impl != ModeWrite || winv.Arg != 10 {
+		t.Fatalf("write inverse = %+v, want Mode=withdraw Impl=write Arg=10", winv)
+	}
+
+	// Reserve flips physically to release (and vice versa) while keeping
+	// the semantic mode.
+	rop := Op{Mode: ModeReserve, Item: "tickets", Arg: 5}
+	rinv, _ := Inverse(rop, Result{})
+	if rinv.Mode != ModeReserve || rinv.Impl != ModeRelease || rinv.Arg != 5 {
+		t.Fatalf("reserve inverse = %+v, want Mode=reserve Impl=release Arg=5", rinv)
+	}
+	lop := Op{Mode: ModeRelease, Item: "tickets", Arg: 5}
+	linv, _ := Inverse(lop, Result{})
+	if linv.Mode != ModeRelease || linv.Impl != ModeReserve || linv.Arg != 5 {
+		t.Fatalf("release inverse = %+v, want Mode=release Impl=reserve Arg=5", linv)
+	}
+}
+
+// TestApplyHookOutsideMutex: the fault hook runs outside the store's
+// critical section — a hook that calls back into the store must not
+// deadlock, and a slow hook must not block concurrent snapshot reads.
+func TestApplyHookOutsideMutex(t *testing.T) {
+	s := NewStore()
+	s.Set("x", 1)
+
+	// Re-entrant hook: deadlocks under a hook-inside-mutex implementation.
+	s.SetApplyHook(func(op Op) error {
+		_ = s.Get("x")
+		_ = s.ReadAt("x", s.Clock())
+		return nil
+	})
+	if _, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedged hook: holds an Apply indefinitely; snapshot reads must keep
+	// flowing (they never pass through the hook's critical path).
+	wedged := make(chan struct{})
+	release := make(chan struct{})
+	s.SetApplyHook(func(op Op) error {
+		close(wedged)
+		<-release
+		return nil
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1})
+	}()
+	<-wedged
+	if got := s.ReadAt("x", s.Clock()); got != 2 {
+		t.Fatalf("snapshot read under wedged hook = %d, want 2", got)
+	}
+	if got := s.Get("x"); got != 2 {
+		t.Fatalf("Get under wedged hook = %d, want 2", got)
+	}
+	close(release)
+	<-done
+
+	// Veto semantics are unchanged: a failing hook leaves the store
+	// untouched and uncounted.
+	s.SetApplyHook(func(op Op) error { return errors.New("vetoed") })
+	before := s.Applied()
+	if _, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1}); err == nil {
+		t.Fatal("vetoed apply must fail")
+	}
+	if s.Get("x") != 3 || s.Applied() != before {
+		t.Fatal("vetoed apply must not touch the store")
+	}
+	s.SetApplyHook(nil)
+	if _, err := s.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUseClockSharedCounter: stores sharing one stamp counter allocate
+// globally unique, per-store monotone stamps.
+func TestUseClockSharedCounter(t *testing.T) {
+	var clk atomic.Uint64
+	s1, s2 := NewStore(), NewStore()
+	s1.UseClock(&clk)
+	s2.UseClock(&clk)
+	seen := make(map[uint64]bool)
+	var last1, last2 uint64
+	for i := 0; i < 10; i++ {
+		r1, _ := s1.Apply(Op{Mode: ModeIncr, Item: "x", Arg: 1})
+		r2, _ := s2.Apply(Op{Mode: ModeIncr, Item: "y", Arg: 1})
+		for _, ts := range []uint64{r1.TS, r2.TS} {
+			if seen[ts] {
+				t.Fatalf("duplicate stamp %d", ts)
+			}
+			seen[ts] = true
+		}
+		if r1.TS <= last1 || r2.TS <= last2 {
+			t.Fatal("per-store stamps must be monotone")
+		}
+		last1, last2 = r1.TS, r2.TS
+	}
+}
+
+// TestCompact drops old versions but keeps every item readable at and
+// above the compaction horizon.
+func TestCompact(t *testing.T) {
+	s := NewStore()
+	var stamps []uint64
+	for i := int64(1); i <= 5; i++ {
+		res, _ := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: i * 10})
+		stamps = append(stamps, res.TS)
+	}
+	s.Compact(stamps[3])
+	if n := s.VersionCount("x"); n != 2 {
+		t.Fatalf("versions after compact = %d, want 2", n)
+	}
+	if got := s.ReadAt("x", stamps[4]); got != 50 {
+		t.Fatalf("ReadAt(latest) = %d, want 50", got)
+	}
+	if got := s.ReadAt("x", stamps[3]); got != 40 {
+		t.Fatalf("ReadAt(horizon) = %d, want 40", got)
+	}
+	// Compacting everything keeps the newest version per item.
+	s.Compact(s.Clock() + 1)
+	if n := s.VersionCount("x"); n != 1 {
+		t.Fatalf("versions after full compact = %d, want 1", n)
+	}
+	if got := s.Get("x"); got != 50 {
+		t.Fatalf("Get after compact = %d, want 50", got)
+	}
+}
+
+func BenchmarkSnapshotReadVsApply(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 64; i++ {
+		s.Set(fmt.Sprintf("k%d", i), int64(i))
+	}
+	b.Run("ReadAt", func(b *testing.B) {
+		ts := s.Clock()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				s.ReadAt(fmt.Sprintf("k%d", i%64), ts)
+				i++
+			}
+		})
+	})
+	b.Run("ApplyRead", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				s.Apply(Op{Mode: ModeRead, Item: fmt.Sprintf("k%d", i%64)})
+				i++
+			}
+		})
+	})
+}

@@ -276,7 +276,12 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 		}
 	}
 	rt.commits.Store(int64(stats.Committed))
-	rt.seq.Store(maxSeq)
+	// Resume the global sequence past both the journaled high-water mark
+	// and anything the redo/undo passes allocated (version stamps come off
+	// this counter too — rewinding it would hand out duplicate stamps).
+	if cur := rt.seq.Load(); maxSeq > cur {
+		rt.seq.Store(maxSeq)
+	}
 
 	// --- Verify ---
 	sys := rt.RecordedSystem()

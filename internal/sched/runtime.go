@@ -136,6 +136,16 @@ type Metrics struct {
 	// CertifyRejects counts commits rejected by the live certifier (zero
 	// unless EnableCertify is on and a violation was attempted).
 	CertifyRejects int64
+
+	// ValidationAborts counts optimistic attempts whose snapshot reads
+	// were invalidated by conflicting commits (each followed by a retry
+	// with a fresh snapshot; zero unless ExecOptimistic/SnapshotRead).
+	ValidationAborts int64
+
+	// ValidationRefreshes counts commit-time read refreshes: validation
+	// passes that moved the attempt's snapshot reads forward to a newer
+	// stamp instead of aborting (see Runtime.RefreshRetries).
+	ValidationRefreshes int64
 }
 
 // String renders the metrics as one key=value line (compsim's summary
@@ -153,6 +163,10 @@ func (m Metrics) String() string {
 	}
 	if m.CertifyRejects > 0 {
 		fmt.Fprintf(&b, " certify-rejects=%d", m.CertifyRejects)
+	}
+	if m.ValidationAborts+m.ValidationRefreshes > 0 {
+		fmt.Fprintf(&b, " validation-aborts=%d validation-refreshes=%d",
+			m.ValidationAborts, m.ValidationRefreshes)
 	}
 	return b.String()
 }
@@ -180,7 +194,21 @@ type Runtime struct {
 	rec  *recorder
 	cert *certifier // live Comp-C certification (nil = off); see EnableCertify
 
-	certRejects atomic.Int64
+	certRejects  atomic.Int64
+	valAborts    atomic.Int64
+	valRefreshes atomic.Int64
+
+	// seals orders optimistic commits: each validation pass registers its
+	// validation point here before checking any read, and serialize-before
+	// claims are granted only against owners whose seal is absent or above
+	// the claimant's own validation point (see Runtime.validate).
+	sealMu sync.Mutex
+	sealM  map[string]uint64
+
+	// skipValidation disables the optimistic commit gate (tests only: it
+	// lets an invalidated snapshot read reach the certifier, proving the
+	// certifier independently rejects the resulting violation).
+	skipValidation bool
 
 	wfg *waitGraph
 
@@ -214,6 +242,18 @@ type Runtime struct {
 	// Deadlock selects the deadlock-handling policy of every lock manager
 	// (default WaitDie). Set before submitting transactions.
 	Deadlock DeadlockPolicy
+
+	// Exec selects pessimistic (default) or optimistic leaf-read
+	// execution for every submitted root; Invocation.SnapshotRead opts a
+	// single root in. Set before submitting transactions.
+	Exec ExecMode
+
+	// RefreshRetries bounds how many times a failing optimistic
+	// validation may refresh its snapshot reads to a newer stamp
+	// (re-reading values, re-sequencing the read events) before the
+	// attempt aborts with ErrValidation and re-executes. 0 disables
+	// refreshing: every invalidated read aborts immediately.
+	RefreshRetries int
 }
 
 // New builds a runtime for the given protocol and component topology.
@@ -225,8 +265,10 @@ func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 		rwTable:    data.RWTable(),
 		rec:        newRecorder(),
 		wfg:        newWaitGraph(),
-		MaxRetries: 10000,
-		SubRetries: 2,
+		sealM:      make(map[string]uint64),
+		MaxRetries:     10000,
+		SubRetries:     2,
+		RefreshRetries: 6,
 	}
 	for _, spec := range specs {
 		if spec.Name == "" {
@@ -243,6 +285,10 @@ func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 		c.lm.crashed = &r.crashed
 		if spec.HasStore {
 			c.store = data.NewStore()
+			// Version stamps and event sequence numbers share one clock,
+			// so version order and recorded conflict order agree by
+			// construction (see Runtime.validate's soundness note).
+			c.store.UseClock(&r.seq)
 		}
 		r.comps[spec.Name] = c
 	}
@@ -291,6 +337,8 @@ func (r *Runtime) Metrics() Metrics {
 		CompensationFailures: r.compFailures.Load(),
 		Crashes:              r.crashes.Load(),
 		CertifyRejects:       r.certRejects.Load(),
+		ValidationAborts:     r.valAborts.Load(),
+		ValidationRefreshes:  r.valRefreshes.Load(),
 	}
 	if r.wal != nil {
 		m.WALRecords = int64(r.wal.Records())

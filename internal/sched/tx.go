@@ -45,6 +45,11 @@ type Invocation struct {
 	// aborts with ErrTimeout. It tightens any deadline inherited from
 	// the caller or from Runtime.OpTimeout.
 	Deadline time.Time
+
+	// SnapshotRead, set on a root invocation, runs this transaction
+	// optimistically (MVCC snapshot reads, validate-at-commit) even when
+	// the runtime's Exec mode is pessimistic. See ExecOptimistic.
+	SnapshotRead bool
 }
 
 // TxResult reports a committed transaction.
@@ -76,6 +81,15 @@ type attempt struct {
 	stage  *stagedRecord
 	values []int64
 	rng    *rand.Rand
+
+	// Optimistic execution state (ExecOptimistic / Invocation.SnapshotRead):
+	// per-store snapshot stamps, the snapshot reads to validate at commit,
+	// and the items this attempt mutated (whose reads must bypass the
+	// snapshot to see their own writes).
+	optimistic bool
+	snaps      map[string]uint64
+	reads      []readRec
+	wset       map[string]struct{}
 }
 
 type ownerRef struct {
@@ -95,7 +109,7 @@ type undoEntry struct {
 // subtransaction can be rolled back and re-run without discarding the
 // work of the rest of the transaction.
 type snapshot struct {
-	undo, owners, nodes, events, values int
+	undo, owners, nodes, events, values, reads int
 }
 
 func (a *attempt) snapshot() snapshot {
@@ -105,6 +119,7 @@ func (a *attempt) snapshot() snapshot {
 		nodes:  len(a.stage.nodes),
 		events: len(a.stage.events),
 		values: len(a.values),
+		reads:  len(a.reads),
 	}
 }
 
@@ -144,13 +159,21 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 			}
 		}
 		a := &attempt{
-			root:  rootID,
-			ts:    ts,
-			stage: newStagedRecord(),
-			rng:   rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+			root:       rootID,
+			ts:         ts,
+			stage:      newStagedRecord(),
+			rng:        rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+			optimistic: r.Exec == ExecOptimistic || root.SnapshotRead,
 		}
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
 		err := r.exec(a, rootID, string(rootID), root, deadline)
+		if err == nil {
+			// Optimistic commit gate: validate every snapshot read against
+			// the versions committed since its snapshot stamp. Runs before
+			// certification and durability — an invalidated attempt rolls
+			// back and retries with a fresh snapshot.
+			err = r.validate(a)
+		}
 		if err == nil {
 			// Commit-time certification (EnableCertify): the staged record
 			// is admitted against the Comp-C criterion before anything of
@@ -175,7 +198,13 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 			// locks are abandoned and the record never merged — recovery
 			// must redo this transaction from the log alone.
 			r.fireCrash("", string(rootID), "post-commit", nil)
-			// Root commit: release every lock and publish the record.
+			// Root commit: finalize this root's versions (it will apply
+			// nothing further, so snapshot validation may stop treating
+			// them as dirty), release every lock, publish the record.
+			for _, s := range a.touchedStores() {
+				s.Retire(string(rootID))
+			}
+			r.clearSeal(string(rootID))
 			for i := len(a.owners) - 1; i >= 0; i-- {
 				a.owners[i].lm.release(a.owners[i].owner)
 			}
@@ -196,6 +225,9 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 		switch {
 		case errors.Is(err, ErrDie):
 			r.aborts.Add(1)
+		case errors.Is(err, ErrValidation):
+			// Invalidated snapshot reads: retry with a fresh snapshot.
+			r.valAborts.Add(1)
 		case errors.Is(err, ErrInjected):
 			// Recovered fault: retry as a fresh attempt.
 		case errors.Is(err, ErrTimeout):
@@ -232,10 +264,36 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 	}
 }
 
-// rollback compensates the attempt's applied operations in reverse order
-// and releases its locks.
+// touchedStores returns the distinct stores the attempt mutated (small:
+// deduped by pointer).
+func (a *attempt) touchedStores() []*data.Store {
+	var out []*data.Store
+	for _, u := range a.undo {
+		dup := false
+		for _, s := range out {
+			if s == u.store {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, u.store)
+		}
+	}
+	return out
+}
+
+// rollback compensates the attempt's applied operations in reverse order,
+// retires the attempt's version tags (its installs and their
+// compensations net out and none of its events will be recorded — see
+// Store.Retire), and releases its locks.
 func (r *Runtime) rollback(a *attempt) {
+	stores := a.touchedStores()
 	r.compensate(a, 0)
+	for _, s := range stores {
+		s.Retire(string(a.root))
+	}
+	r.clearSeal(string(a.root))
 	for i := len(a.owners) - 1; i >= 0; i-- {
 		a.owners[i].lm.release(a.owners[i].owner)
 	}
@@ -261,6 +319,7 @@ func (r *Runtime) rollbackTo(a *attempt, snap snapshot) {
 	a.owners = kept
 	a.stage.truncate(snap.nodes, snap.events)
 	a.values = a.values[:snap.values]
+	a.reads = a.reads[:snap.reads]
 	r.wfg.clear(a.ts)
 }
 
@@ -303,7 +362,7 @@ func (r *Runtime) compensate(a *attempt, from int) {
 				err = fmt.Errorf("sched: compensation fault at %q: %w", u.comp, ErrInjected)
 				continue
 			}
-			if _, err = u.store.Apply(inv); err == nil {
+			if _, err = u.store.ApplyUndo(inv, string(a.root), u.res.TS); err == nil {
 				break
 			}
 		}
@@ -405,6 +464,14 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 	if r.inj != nil && r.inj.fire(FaultApply, comp.name, string(a.root), string(id)) {
 		return fmt.Errorf("sched: apply fault at %s: %w", id, ErrInjected)
 	}
+	// Optimistic leaf reads are served from the store's committed snapshot:
+	// no semantic lock, no blocking. Reads of items this attempt already
+	// mutated fall through to the locked path — the snapshot cannot see the
+	// attempt's own writes, and the write lock is already held, so the
+	// locked read cannot block either.
+	if a.optimistic && op.Physical() == data.ModeRead && !a.wroteItem(comp.name, op.Item) {
+		return r.snapshotRead(a, comp, parent, id, op)
+	}
 	switch r.protocol {
 	case Global2PL:
 		// One global lock space over component-qualified items, classical
@@ -442,7 +509,7 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 			return jerr
 		}
 	}
-	res, err := comp.store.Apply(op)
+	res, err := comp.store.ApplyAs(op, string(a.root))
 	if err != nil {
 		if lsn != 0 {
 			// The journaled apply never executed: append a cancellation
@@ -456,7 +523,17 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 	if op.Physical() == data.ModeRead {
 		a.values = append(a.values, res.Value)
 	}
-	seq := r.seq.Add(1)
+	if a.optimistic && res.TS != 0 {
+		a.markWrite(comp.name, op.Item)
+	}
+	// A mutation's event is sequenced at the stamp of the version it
+	// installed (stamps and event sequence numbers share one counter —
+	// Store.UseClock), so the recorded conflict order of store events is
+	// exactly version order; reads are sequenced here, after they executed.
+	seq := res.TS
+	if seq == 0 {
+		seq = r.seq.Add(1)
+	}
 	a.stage.declareNode(nodeDecl{id: id, parent: parent})
 	a.stage.addEvent(event{seq: seq, comp: comp.name, op: id, parentTx: parent, item: op.Item, mode: op.Mode})
 	return nil

@@ -30,6 +30,10 @@ type (
 	Metrics = sched.Metrics
 	// WorkloadParams configures GenPrograms.
 	WorkloadParams = sched.WorkloadParams
+	// ExecMode selects leaf-read execution (Runtime.Exec): semantic
+	// locking (ExecPessimistic) or MVCC snapshot reads validated at
+	// commit (ExecOptimistic).
+	ExecMode = sched.ExecMode
 	// DeadlockPolicy selects deadlock handling (WaitDie or DetectWFG);
 	// set Runtime.Deadlock before submitting transactions.
 	DeadlockPolicy = sched.DeadlockPolicy
@@ -115,6 +119,14 @@ var (
 	// (EnableCertify) rejects the commit: admitting it would make the
 	// committed execution violate Comp-C. The transaction is rolled back.
 	ErrCertifyViolation = sched.ErrCertifyViolation
+	// ErrValidation aborts an optimistic attempt (ExecOptimistic) whose
+	// snapshot reads a conflicting commit invalidated; the runtime rolls
+	// the attempt back and retries it with a fresh snapshot, so Submit
+	// surfaces it only wrapped in ErrTooManyRetries.
+	ErrValidation = sched.ErrValidation
+	// ErrInsufficient rejects an escrow reserve that would take a
+	// bounded counter below its floor (see EscrowCounterTable).
+	ErrInsufficient = data.ErrInsufficient
 )
 
 // Recover rebuilds a runtime — stores and recorded execution — from a
@@ -142,6 +154,19 @@ const (
 	ModeDeposit  = data.ModeDeposit
 	ModeWithdraw = data.ModeWithdraw
 	ModeAudit    = data.ModeAudit
+
+	// Bounded escrow-counter modes: a reserve takes from a counter only
+	// if it stays above the bound (ErrInsufficient otherwise), a release
+	// gives back. Pair with EscrowCounterTable.
+	ModeReserve = data.ModeReserve
+	ModeRelease = data.ModeRelease
+)
+
+// Execution modes (Runtime.Exec): pessimistic semantic locking (default)
+// or MVCC snapshot reads with optimistic validate-at-commit.
+const (
+	ExecPessimistic = sched.ExecPessimistic
+	ExecOptimistic  = sched.ExecOptimistic
 )
 
 // SemanticTable is the full-knowledge commutativity specification
@@ -155,6 +180,11 @@ func RWTable() *ModeTable { return data.RWTable() }
 // EscrowTable is the escrow banking specification: deposits commute,
 // withdrawals conflict with each other, audits conflict with both.
 func EscrowTable() *ModeTable { return data.EscrowTable() }
+
+// EscrowCounterTable is the bounded escrow counter specification:
+// reserves commute with each other (the store enforces the bound
+// atomically at apply time), releases commute with everything but reads.
+func EscrowCounterTable() *ModeTable { return data.EscrowCounterTable() }
 
 // NewModeTable returns an empty commutativity specification; declare
 // conflicting mode pairs with Declare.
