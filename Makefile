@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash mvcc bench benchsmoke experiments clean
+.PHONY: all build test verify race chaos crash mvcc soak bench benchsmoke experiments clean
 
 all: build test
 
@@ -49,14 +49,25 @@ mvcc:
 race:
 	$(GO) test -race ./internal/sched ./internal/front .
 
+# soak runs the bounded-memory checkpoint suite: the race-enabled
+# checkpoint/recovery/backpressure tests in internal/sched, the MVCC
+# compaction safety property in internal/data, and the E14 gate (the
+# checkpointed soak's recovery replay must stay bounded by the cadence
+# while the unbounded baseline grows with the horizon).
+soak:
+	$(GO) test -race -count=1 -run 'TestCheckpoint|TestCrashDuringCheckpoint|TestOverload' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestCompactConcurrentStableReads|TestCompact' ./internal/data
+	$(GO) test -count=1 -run 'TestE14' ./internal/sim
+
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
-# chaos-recovery, E11 crash-matrix, E12 online-certification and E13
-# MVCC-vs-lock tables, plus checker, incremental-certification and WAL
-# microbenchmarks (ns/op, CheckBatch worker scaling, E12 incremental-vs-
-# full per-commit cost, WAL append under each group-commit setting, full
-# crash recovery). See DESIGN.md §6.1.
+# chaos-recovery, E11 crash-matrix, E12 online-certification, E13
+# MVCC-vs-lock and E14 bounded-memory checkpoint tables, plus checker,
+# incremental-certification, WAL and checkpoint microbenchmarks (ns/op,
+# CheckBatch worker scaling, E12 incremental-vs-full per-commit cost,
+# WAL append under each group-commit setting, full crash recovery, E14
+# tail/recovery growth across the horizon spread). See DESIGN.md §6.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14 -json BENCH_checker.json
 
 # benchsmoke runs every benchmark for exactly one iteration — a CI smoke
 # test that the bench harness still compiles and completes, not a
@@ -64,7 +75,7 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# experiments regenerates every E1-E13 table on stdout.
+# experiments regenerates every E1-E14 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

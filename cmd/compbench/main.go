@@ -1,5 +1,5 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E13 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E14 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
@@ -10,8 +10,8 @@
 // and MVCC microbenchmarks (ns/op for the E1/E2 units, the E7 scaling
 // configurations, CheckBatch throughput at 1 vs 8 workers, the E12
 // incremental-vs-full per-commit cost, WAL append under each group-commit
-// setting, full crash recovery, and the E13 MVCC-vs-lock curve cells)
-// are also written to the given file;
+// setting, full crash recovery, the E13 MVCC-vs-lock curve cells, and the
+// E14 bounded-memory checkpoint soak) are also written to the given file;
 // the repository keeps the result as BENCH_checker.json so the perf
 // trajectory is machine-readable across PRs.
 package main
@@ -82,7 +82,7 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E13)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E14)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -106,8 +106,9 @@ func main() {
 		"E11": func() *sim.Table { return sim.E11CrashMatrix(sim.DefaultCrashConfig()) },
 		"E12": func() *sim.Table { return sim.E12Incremental(sim.DefaultRunConfig()) },
 		"E13": func() *sim.Table { return sim.E13MVCC(sim.DefaultMVCCConfig()) },
+		"E14": func() *sim.Table { return sim.E14Checkpoint(sim.DefaultCheckpointConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -135,7 +136,7 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...),
+			Benchmarks: append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -13,6 +13,13 @@
 //
 //	compsim -topology bank -wal /tmp/bank.wal -crash T13:commit
 //	compsim -recover /tmp/bank.wal
+//
+// With -checkpoint-every N the runtime stays bounded over long runs:
+// every N commits it folds the certified history, prunes the recorder,
+// compacts MVCC version chains and truncates the WAL behind the live
+// barrier, so recovery replays only the tail since the last marker:
+//
+//	compsim -topology bank -roots 5000 -certify -wal /tmp/bank.wal -checkpoint-every 50
 package main
 
 import (
@@ -176,6 +183,7 @@ func main() {
 	crashTear := flag.Bool("crash-tear", false, "tear the WAL record mid-append when the crash fires")
 	recoverDir := flag.String("recover", "", "recover from a WAL directory, report, and exit")
 	certify := flag.Bool("certify", false, "certify every commit online against Comp-C and reject violating ones")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint every N commits: fold certified history, prune the recorder, compact MVCC chains, truncate the WAL (0 = never)")
 	optimistic := flag.Bool("optimistic", false, "serve leaf reads from MVCC snapshots and validate them at commit instead of taking semantic read locks")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -253,6 +261,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
 			exit(2)
 		}
+	}
+	if *checkpointEvery > 0 {
+		rt.EnableCheckpoints(ctx.CheckpointConfig{Every: *checkpointEvery})
 	}
 	plan, err := parseFaults(*faults, *faultSeed)
 	if err != nil {

@@ -284,15 +284,21 @@ func TestCompact(t *testing.T) {
 		res, _ := s.Apply(Op{Mode: ModeWrite, Item: "x", Arg: i * 10})
 		stamps = append(stamps, res.TS)
 	}
-	s.Compact(stamps[3])
-	if n := s.VersionCount("x"); n != 2 {
-		t.Fatalf("versions after compact = %d, want 2", n)
+	if dropped := s.Compact(stamps[3]); dropped != 2 {
+		t.Fatalf("Compact dropped %d versions, want 2", dropped)
+	}
+	// The newest dropped-range version survives as the chain base.
+	if n := s.VersionCount("x"); n != 3 {
+		t.Fatalf("versions after compact = %d, want 3", n)
 	}
 	if got := s.ReadAt("x", stamps[4]); got != 50 {
 		t.Fatalf("ReadAt(latest) = %d, want 50", got)
 	}
 	if got := s.ReadAt("x", stamps[3]); got != 40 {
 		t.Fatalf("ReadAt(horizon) = %d, want 40", got)
+	}
+	if got := s.ReadAt("x", stamps[2]); got != 30 {
+		t.Fatalf("ReadAt(base) = %d, want 30", got)
 	}
 	// Compacting everything keeps the newest version per item.
 	s.Compact(s.Clock() + 1)

@@ -561,23 +561,44 @@ func (s *Store) VersionCount(item string) int {
 	return len(s.chains[item])
 }
 
-// Compact drops versions with stamp < keepFrom, keeping at least the
-// newest version of every item (the chain base a ReadAt below keepFrom
-// falls back to). Safe to run concurrently with readers and writers;
-// callers must not hold snapshots older than keepFrom.
-func (s *Store) Compact(keepFrom uint64) {
+// Compact garbage-collects version chains below keepFrom, returning the
+// number of versions dropped. Safe to run concurrently with readers and
+// writers; callers must not hold snapshots older than keepFrom (the
+// runtime derives keepFrom from its active-snapshot frontier).
+//
+// Only a *prefix* of each chain is dropped, and a version is droppable
+// only when both its install stamp and its retirement stamp sit strictly
+// below keepFrom. That preserves every fact a concurrent validation pass
+// can still reach: an unresolved version (retired == 0) survives, as
+// does one whose writer resolved late (CheckRead's retired-after-vpoint
+// staleness rule needs it — every active validator's vpoint is at least
+// its snapshot stamp, hence at least keepFrom), and everything above the
+// first such version survives with it because dropping stops there. The
+// newest droppable version is retained as the chain base: it carries the
+// value StableRead reports just below an unresolved version and the
+// value ReadAt falls back to at the frontier.
+func (s *Store) Compact(keepFrom uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dropped := 0
 	for item, chain := range s.chains {
-		i := sort.Search(len(chain), func(i int) bool { return chain[i].ts >= keepFrom })
-		if i >= len(chain) {
-			i = len(chain) - 1
+		cut := 0
+		for cut < len(chain) {
+			v := chain[cut]
+			if v.ts >= keepFrom || v.retired == 0 || v.retired >= keepFrom {
+				break
+			}
+			cut++
 		}
-		if i <= 0 {
+		// Keep the newest droppable version as the chain base.
+		cut--
+		if cut <= 0 {
 			continue
 		}
-		s.chains[item] = append([]version(nil), chain[i:]...)
+		s.chains[item] = append([]version(nil), chain[cut:]...)
+		dropped += cut
 	}
+	return dropped
 }
 
 // Get reads an item without counting as an operation (for tests/metrics).

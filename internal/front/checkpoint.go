@@ -1,0 +1,173 @@
+package front
+
+import (
+	"fmt"
+
+	"compositetx/internal/model"
+)
+
+// Checkpointing: once a prefix of roots is fully committed and certified
+// correct, the engine no longer needs its nodes to decide the correctness
+// of what follows — provided nothing that arrives later references them.
+// Checkpoint folds such a prefix into a compact CheckpointSummary (the
+// prefix's serial witness plus the boundary state of every front level)
+// and drops the folded nodes from the accumulated system and from every
+// per-level closure, so the engine's memory tracks the live suffix
+// instead of the whole history.
+//
+// Soundness is the multi-level serial-witness argument (Börger/Schewe/
+// Wang; Biswas & Enea for the flat case): a fully committed, certified
+// prefix is equivalent to a serial execution, and in a runtime stream
+// every event of a committed root carries a smaller clock stamp than
+// every future event, so every cross-boundary order or conflict pair is
+// directed prefix → suffix. A correctness violation is a cycle, a cycle
+// needs an edge pointing back into the prefix, and no such edge can ever
+// be generated — hence folding the prefix cannot change any later
+// verdict. The engine enforces the "nothing references them" contract
+// mechanically: a later delta naming a folded node fails validateDelta
+// with an unknown-node error, exactly like a reference to a truncated
+// LSN. (The runtime certifier guarantees the contract by pruning its
+// event index at the same cadence, so conflict pairs against folded
+// events are never generated in the first place.)
+//
+// After the fold the engine state is byte-for-byte the state of a fresh
+// engine fed the pruned system: Append/Admit verdicts over any later
+// stream are byte-identical to CheckReference over the accumulated
+// (pruned) system — the checkpoint property tests assert this prefix by
+// prefix across fold boundaries, on the same random stack/fork/join/
+// general streams the incremental engine is tested on.
+
+// CheckpointSummary describes one fold: what was dropped and the compact
+// facts retained about it.
+type CheckpointSummary struct {
+	// Roots and Nodes count the composite transactions and forest nodes
+	// folded by this checkpoint.
+	Roots int
+	Nodes int
+	// Witness is the folded prefix's serial witness: the folded roots in
+	// an order consistent with the final front's observed order at fold
+	// time. For runtime streams — where every cross-boundary pair is
+	// directed prefix → suffix by the shared clock — concatenating
+	// successive checkpoint witnesses with a final verdict's SerialOrder
+	// yields a serial order of the entire history.
+	Witness []model.NodeID
+	// Boundary records, per front level, the state left behind: how many
+	// nodes remain live and how many were dropped at that level.
+	Boundary []LevelBoundary
+}
+
+// LevelBoundary is the per-level boundary conflict state of a fold.
+type LevelBoundary struct {
+	Level   int
+	Live    int // nodes still in the level-l front after the fold
+	Dropped int // nodes removed from the level-l front by the fold
+}
+
+// Checkpoints counts completed folds.
+func (inc *Incremental) Checkpoints() int { return inc.checkpoints }
+
+// LiveNodes returns the number of forest nodes currently accumulated —
+// the engine's memory watermark gauge.
+func (inc *Incremental) LiveNodes() int { return inc.sys.NumNodes() }
+
+// Checkpoint folds the given committed roots — each with its entire
+// subtree — out of the engine. The engine must not be degraded (only a
+// certified-correct prefix may be folded), and every id must be a root
+// of the accumulated system. After the call, later deltas must not
+// reference any folded node: such a delta is rejected by validation.
+// On error nothing is changed.
+func (inc *Incremental) Checkpoint(roots []model.NodeID) (*CheckpointSummary, error) {
+	if inc.failed {
+		return nil, fmt.Errorf("front: cannot checkpoint a degraded engine (the history is not Comp-C)")
+	}
+	if len(roots) == 0 {
+		return &CheckpointSummary{}, nil
+	}
+	seen := make(map[model.NodeID]struct{}, len(roots))
+	for _, id := range roots {
+		nd := inc.sys.Node(id)
+		if nd == nil {
+			return nil, fmt.Errorf("front: checkpoint of unknown root %q", id)
+		}
+		if nd.Parent != "" {
+			return nil, fmt.Errorf("front: checkpoint target %q is not a root (parent %q)", id, nd.Parent)
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("front: checkpoint names root %q twice", id)
+		}
+		seen[id] = struct{}{}
+	}
+
+	sum := &CheckpointSummary{Roots: len(roots)}
+	doomed := make(map[model.NodeID]struct{}, len(roots)*4)
+	for id := range seen {
+		doomed[id] = struct{}{}
+		for _, d := range inc.sys.Descendants(id) {
+			doomed[d] = struct{}{}
+		}
+	}
+	sum.Nodes = len(doomed)
+
+	if inc.eng != nil {
+		sum.Witness = inc.foldWitness(seen)
+		sum.Boundary = inc.foldBoundary(doomed)
+	}
+
+	for id := range seen {
+		inc.sys.RemoveTree(id)
+	}
+	// Rebuild over the pruned system. The level assignment is untouched
+	// (schedules persist through a fold), so this is the same compaction a
+	// level-change rebuild performs: fresh arrival-order interning, fresh
+	// per-level closures, sized to the live suffix.
+	if inc.eng != nil {
+		inc.eng = newIncEngine(inc, inc.levels)
+		inc.eng.apply(SystemDelta(inc.sys))
+		if inc.eng.failed {
+			// Cannot happen: removing whole composite transactions from a
+			// correct execution only removes constraints (monotonicity),
+			// so the suffix stays correct. Poison the engine rather than
+			// certify over broken state.
+			inc.failed = true
+			return nil, fmt.Errorf("front: checkpoint rebuild found the pruned suffix incorrect (engine bug)")
+		}
+	}
+	inc.checkpoints++
+	return sum, nil
+}
+
+// foldWitness extracts the folded prefix's serial witness: the final
+// front's serial order restricted to the folded roots.
+func (inc *Incremental) foldWitness(folded map[model.NodeID]struct{}) []model.NodeID {
+	final := inc.eng.materializeFinal()
+	serial, ok := final.SerialWitness()
+	if !ok {
+		return nil // unreachable for a non-degraded engine (CC sentinel)
+	}
+	out := make([]model.NodeID, 0, len(folded))
+	for _, id := range serial {
+		if _, is := folded[id]; is {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// foldBoundary snapshots the per-level boundary state of a fold: for
+// every front level, how many nodes survive and how many are dropped.
+func (inc *Incremental) foldBoundary(doomed map[model.NodeID]struct{}) []LevelBoundary {
+	eng := inc.eng
+	out := make([]LevelBoundary, 0, len(eng.lv))
+	for l, st := range eng.lv {
+		b := LevelBoundary{Level: l}
+		st.nodes.Each(func(i int) {
+			if _, dropped := doomed[eng.ids[i]]; dropped {
+				b.Dropped++
+			} else {
+				b.Live++
+			}
+		})
+		out = append(out, b)
+	}
+	return out
+}

@@ -31,13 +31,14 @@ import (
 // cycle, failed level — stay byte-identical. The property tests in
 // incremental_test.go assert this prefix by prefix.
 type Incremental struct {
-	opts     IncrementalOptions
-	sys      *model.System
-	ig       *order.Relation[model.ScheduleID]
-	levels   map[model.ScheduleID]int
-	eng      *incEngine
-	failed   bool
-	rebuilds int
+	opts        IncrementalOptions
+	sys         *model.System
+	ig          *order.Relation[model.ScheduleID]
+	levels      map[model.ScheduleID]int
+	eng         *incEngine
+	failed      bool
+	rebuilds    int
+	checkpoints int
 }
 
 // IncrementalOptions configures an Incremental.

@@ -1,0 +1,512 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"compositetx/internal/model"
+	"compositetx/internal/wal"
+)
+
+// Checkpointing keeps a long-running runtime's memory and recovery time
+// flat: at a *cut* — a moment with no mutation half-journaled and no
+// commit half-published — the runtime (1) snapshots every store into the
+// WAL as a checkpoint batch (TypeCkItem items + self-anchoring
+// TypeCheckpoint marker), (2) folds the certifier's fully-committed
+// history out of the incremental engine (front.Incremental.Checkpoint)
+// and prunes the recorder and the certifier's event index to match, (3)
+// compacts the MVCC version chains below the oldest active snapshot
+// frontier, and (4) deletes WAL segments wholly older than the
+// truncation barrier. Recovery (sched.Recover) then replays only the
+// tail since the marker.
+//
+// The cut is a sync.RWMutex (ckState.gate): every journal-then-mutate
+// window — a leaf apply, a compensation, a whole commit publication, and
+// the taking of an optimistic snapshot — holds the read side, and the
+// checkpoint holds the write side across [store snapshot, certifier
+// fold, marker append]. With the gate held exclusively, every journaled
+// mutation's effect is either fully in the snapshot (record LSN below
+// the marker) or fully after it (LSN above) — never half of each — which
+// is exactly the invariant that lets redo skip everything at or below
+// the marker. Lock order: gate before Runtime.mu, everywhere.
+//
+// The truncation barrier protects two things the tail replay still
+// needs: the checkpoint batch itself, and the journaled applies of
+// attempts that were in flight at the cut (their undo information; the
+// checkpoint snapshot contains their un-committed effects, so recovery
+// must be able to invert them). The barrier is the minimum of the
+// batch's first LSN and every in-flight attempt's first apply LSN.
+
+// ErrOverload rejects a Submit at the admission gate while the runtime
+// is above its high memory watermark; the caller should back off and
+// retry once the triggered checkpoint has drained the backlog.
+var ErrOverload = errors.New("sched: runtime overloaded, admission throttled")
+
+// CheckpointConfig tunes automatic checkpointing and overload
+// backpressure. The zero value disables both (manual Checkpoint calls
+// still work).
+type CheckpointConfig struct {
+	// Every takes a checkpoint after every N commits (0 = no cadence).
+	Every int
+	// HighWater throttles new root admission with ErrOverload — and
+	// triggers an early checkpoint — once the certifier/recorder holds
+	// this many live forest nodes (0 = no watermark).
+	HighWater int
+	// LowWater re-opens admission once the live node count falls below
+	// it (default HighWater/2).
+	LowWater int
+	// HeapHighWater, when nonzero, additionally trips the throttle when
+	// runtime.MemStats.HeapAlloc exceeds this many bytes. The gauge is
+	// sampled at commit points, at most once per 64 commits.
+	HeapHighWater uint64
+}
+
+// CheckpointStats reports one completed checkpoint.
+type CheckpointStats struct {
+	LSN             uint64 // LSN of the checkpoint marker (0 without a WAL)
+	Roots           int    // committed roots folded out of the certifier
+	Nodes           int    // forest nodes pruned (certifier or recorder)
+	SegmentsDeleted int    // WAL segments removed by TruncateBefore
+	VersionsDropped int    // MVCC versions compacted out of the stores
+}
+
+// ckGate is the consistency cut, sharded big-reader style: a reader (a
+// journal+apply pair on some attempt's hot path) takes one of gateShards
+// cache-line-padded RWMutexes — picked by the attempt's timestamp, so
+// concurrent clients land on different lines — and the checkpoint writer
+// takes them all. The happens-before structure is exactly a single
+// RWMutex's; sharding only removes the reader-reader contention that a
+// shared readerCount word costs on the optimistic read path.
+type ckGate struct {
+	shards [gateShards]paddedRWMutex
+}
+
+const gateShards = 16
+
+type paddedRWMutex struct {
+	sync.RWMutex
+	_ [40]byte // pad the 24-byte RWMutex to a cache line
+}
+
+func (g *ckGate) RLock(key uint64)   { g.shards[key%gateShards].RLock() }
+func (g *ckGate) RUnlock(key uint64) { g.shards[key%gateShards].RUnlock() }
+
+// Lock acquires every shard in index order (the only writer is the
+// checkpoint, serialized by ck.running, so the fixed order is deadlock-
+// free against single-shard readers).
+func (g *ckGate) Lock() {
+	for i := range g.shards {
+		g.shards[i].Lock()
+	}
+}
+
+func (g *ckGate) Unlock() {
+	for i := range g.shards {
+		g.shards[i].Unlock()
+	}
+}
+
+// ckState is the runtime's checkpoint machinery; always allocated (New),
+// inert until EnableCheckpoints or an explicit Checkpoint call.
+type ckState struct {
+	gate ckGate // the consistency cut (see package comment above)
+
+	cfg CheckpointConfig
+
+	mu       sync.Mutex
+	inflight map[string]uint64   // txn -> first journaled-apply LSN of its live attempt
+	snaps    map[*attempt]struct{} // active attempts with a registered snapshot (oldest stamp in attempt.snapLow)
+
+	sinceCk  atomic.Int64 // commits since the last checkpoint
+	running  atomic.Bool  // a checkpoint is in progress
+	throttle atomic.Bool  // high watermark tripped; Submit rejects with ErrOverload
+}
+
+func newCkState() *ckState {
+	return &ckState{
+		inflight: map[string]uint64{},
+		snaps:    map[*attempt]struct{}{},
+	}
+}
+
+// noteApply registers an attempt's first journaled apply; the truncation
+// barrier never passes it while the attempt is live.
+func (ck *ckState) noteApply(txn string, lsn uint64) {
+	ck.mu.Lock()
+	if _, ok := ck.inflight[txn]; !ok {
+		ck.inflight[txn] = lsn
+	}
+	ck.mu.Unlock()
+}
+
+// noteSnap registers an optimistic attempt's snapshot stamp (keeping the
+// oldest); Store.Compact never drops a version a registered snapshot may
+// still need to validate against. Called under gate.RLock, so no
+// snapshot can be taken while a checkpoint computes the frontier. Only
+// the attempt's first snapshot read touches the shared registry — the
+// running minimum lives on the attempt itself (a.snapLow, ordered by the
+// gate), keeping the per-read cost off the optimistic hot path.
+func (ck *ckState) noteSnap(a *attempt, ts uint64) {
+	if a.snapReg {
+		if ts < a.snapLow {
+			a.snapLow = ts
+		}
+		return
+	}
+	a.snapReg, a.snapLow = true, ts
+	ck.mu.Lock()
+	ck.snaps[a] = struct{}{}
+	ck.mu.Unlock()
+}
+
+// drop deregisters a finished attempt (committed or fully rolled back).
+func (ck *ckState) drop(a *attempt) {
+	ck.mu.Lock()
+	delete(ck.inflight, string(a.root))
+	delete(ck.snaps, a)
+	ck.mu.Unlock()
+}
+
+// barrier returns the truncation barrier: no WAL record at or above it
+// may be deleted. batchFirst is the checkpoint batch's first LSN.
+func (ck *ckState) barrier(batchFirst uint64) uint64 {
+	b := batchFirst
+	ck.mu.Lock()
+	for _, lsn := range ck.inflight {
+		if lsn < b {
+			b = lsn
+		}
+	}
+	ck.mu.Unlock()
+	return b
+}
+
+// frontier returns the oldest stamp an active snapshot may still
+// validate at, or def when no snapshot is registered. Called under
+// gate.Lock, so the registry is complete and every registered attempt's
+// snapLow is visible.
+func (ck *ckState) frontier(def uint64) uint64 {
+	f := def
+	ck.mu.Lock()
+	for a := range ck.snaps {
+		if a.snapLow < f {
+			f = a.snapLow
+		}
+	}
+	ck.mu.Unlock()
+	return f
+}
+
+// EnableCheckpoints installs the automatic checkpoint cadence and
+// overload watermarks. Call before submitting transactions.
+func (r *Runtime) EnableCheckpoints(cfg CheckpointConfig) {
+	if cfg.LowWater == 0 {
+		cfg.LowWater = cfg.HighWater / 2
+	}
+	r.ck.cfg = cfg
+}
+
+// ckMeta is the TypeCheckpoint marker's Meta payload: the full runtime
+// configuration (the TypeMeta record may live in a truncated segment)
+// plus the cumulative state a tail replay cannot reconstruct.
+type ckMeta struct {
+	walMeta
+	Seq         uint64         `json:"seq"`       // global clock at the cut
+	Committed   int64          `json:"committed"` // cumulative commits at the cut
+	Quarantines []ckQuarantine `json:"quarantines,omitempty"`
+}
+
+// ckQuarantine serializes a leaked compensation for the marker, so
+// pre-checkpoint quarantines survive segment truncation.
+type ckQuarantine struct {
+	Component string `json:"component"`
+	Txn       string `json:"txn"`
+	Item      string `json:"item"`
+	Mode      string `json:"mode"`
+	Impl      string `json:"impl,omitempty"`
+	Arg       int64  `json:"arg"`
+	Err       string `json:"err"`
+}
+
+// liveNodes gauges the engine memory the watermarks police: the
+// certifier's accumulated forest when certifying, the recorder's
+// otherwise.
+func (r *Runtime) liveNodes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cert != nil {
+		return r.cert.inc.LiveNodes()
+	}
+	return len(r.rec.nodes)
+}
+
+// Checkpoint takes one checkpoint now: store snapshots journaled as a
+// WAL checkpoint batch, certifier and recorder folded to their live
+// tails, MVCC chains compacted at the active-snapshot frontier, and
+// segments wholly behind the truncation barrier deleted. Concurrent
+// Submits keep running; they only pause for the cut itself. Returns
+// (nil, nil) when another checkpoint is already in progress. A crash
+// injected at the "checkpoint" fault sites surfaces as ErrCrashed, like
+// any other simulated crash.
+func (r *Runtime) Checkpoint() (st *CheckpointStats, err error) {
+	if !r.ck.running.CompareAndSwap(false, true) {
+		return nil, nil
+	}
+	defer r.ck.running.Store(false)
+	// A FaultCrash at a checkpoint site unwinds with crashPanic (there is
+	// no Submit above us to convert it).
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(crashPanic); ok {
+				st, err = nil, ErrCrashed
+				return
+			}
+			panic(p)
+		}
+	}()
+	if r.crashed.Load() {
+		return nil, ErrCrashed
+	}
+	// Crash site "checkpoint:begin": before anything — recovery sees the
+	// previous checkpoint (or none) untouched.
+	r.fireCrash("", "checkpoint", "begin", nil)
+
+	st = &CheckpointStats{}
+	if err := r.checkpointCut(st); err != nil {
+		return nil, err
+	}
+	// Crash site "checkpoint:end": the marker is durable, truncation has
+	// happened — recovery must start from the new checkpoint.
+	r.fireCrash("", "checkpoint", "end", nil)
+
+	r.ckTaken.Add(1)
+	r.ckNodesPruned.Add(int64(st.Nodes))
+	r.ckSegsTruncated.Add(int64(st.SegmentsDeleted))
+	r.ckVersionsDropped.Add(int64(st.VersionsDropped))
+	r.ck.sinceCk.Store(0)
+	r.relieveOverload()
+	return st, nil
+}
+
+// checkpointCut performs the gated section of a checkpoint. It holds the
+// cut (gate.Lock) across store snapshots, the certifier/recorder fold,
+// the marker append, and the store compaction, then truncates the log.
+func (r *Runtime) checkpointCut(st *CheckpointStats) error {
+	r.ck.gate.Lock()
+	defer r.ck.gate.Unlock()
+
+	// 1. Journal the store snapshots. With the gate held exclusively no
+	// mutation is half-journaled: everything already in the log is fully
+	// reflected in these values, everything after the marker is not at
+	// all.
+	var batchFirst, markerLSN uint64
+	if r.wal != nil {
+		items := r.checkpointItems()
+		meta := ckMeta{
+			walMeta: walMeta{
+				Version:  1,
+				Protocol: r.protocol.String(),
+				Topology: topologyToDoc(r.topo),
+				Certify:  r.cert != nil,
+			},
+			Seq:       r.seq.Load(),
+			Committed: r.commits.Load(),
+		}
+		r.qmu.Lock()
+		for _, q := range r.quarantined {
+			meta.Quarantines = append(meta.Quarantines, ckQuarantine{
+				Component: q.Component, Txn: q.Txn,
+				Item: q.Op.Item, Mode: string(q.Op.Mode), Impl: string(q.Op.Impl),
+				Arg: q.Op.Arg, Err: q.Err.Error(),
+			})
+		}
+		r.qmu.Unlock()
+		blob, err := json.Marshal(meta)
+		if err != nil {
+			return err
+		}
+		if len(items) > 0 {
+			first, err := r.wal.AppendBatch(items)
+			if err != nil {
+				return r.ckWALErr(err)
+			}
+			batchFirst = first
+		}
+		// Crash site "checkpoint:marker": the items are journaled but the
+		// marker is not — an incomplete checkpoint recovery must ignore.
+		r.fireCrash("", "checkpoint", "marker", nil)
+		markerLSN, err = r.wal.AppendCheckpoint(nil, wal.Record{Meta: blob})
+		if err != nil {
+			return r.ckWALErr(err)
+		}
+		if batchFirst == 0 {
+			batchFirst = markerLSN
+		}
+		st.LSN = markerLSN
+	}
+
+	// 2. Fold the committed history out of the certifier, prune the
+	// recorder. Everything accumulated is committed (admits happen at
+	// commit), so the whole prefix folds; the engine's later verdicts are
+	// unchanged by the multi-level serial-witness argument (see
+	// front.Incremental.Checkpoint).
+	r.mu.Lock()
+	if r.cert != nil {
+		roots := r.cert.inc.System().Roots()
+		if len(roots) > 0 {
+			sum, err := r.cert.inc.Checkpoint(roots)
+			if err != nil {
+				r.mu.Unlock()
+				return fmt.Errorf("sched: checkpoint fold: %w", err)
+			}
+			st.Roots, st.Nodes = sum.Roots, sum.Nodes
+		}
+		// Prune the certifier's replay log and event index to the (now
+		// empty) folded state: conflict pairs against folded events must
+		// never be generated again — that is the engine's fold contract.
+		r.cert.nodes = nil
+		r.cert.events = nil
+		r.cert.index = map[string][]event{}
+	}
+	st.Nodes += len(r.rec.nodes)
+	r.rec.nodes = nil
+	r.rec.events = nil
+	r.mu.Unlock()
+
+	// 3. Compact the MVCC chains. The frontier is the oldest snapshot an
+	// active optimistic attempt may still validate at (snapshots register
+	// under the gate's read side, so the registry is complete here); with
+	// no snapshot outstanding, everything below the clock is fair game.
+	frontier := r.ck.frontier(r.seq.Load() + 1)
+	for _, c := range r.comps {
+		if c.store != nil {
+			st.VersionsDropped += c.store.Compact(frontier)
+		}
+	}
+
+	// 4. Truncate the log behind the barrier.
+	if r.wal != nil {
+		n, err := r.wal.TruncateBefore(r.ck.barrier(batchFirst))
+		if err != nil {
+			return r.ckWALErr(err)
+		}
+		st.SegmentsDeleted = n
+	}
+	return nil
+}
+
+// checkpointItems snapshots every store as TypeCkItem records, in
+// deterministic (component, item) order.
+func (r *Runtime) checkpointItems() []wal.Record {
+	names := make([]string, 0, len(r.comps))
+	for n := range r.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var items []wal.Record
+	for _, n := range names {
+		c := r.comps[n]
+		if c.store == nil {
+			continue
+		}
+		snap := c.store.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for it := range snap {
+			keys = append(keys, it)
+		}
+		sort.Strings(keys)
+		for _, it := range keys {
+			items = append(items, wal.Record{Type: wal.TypeCkItem, Comp: n, Item: it, Prev: snap[it]})
+		}
+	}
+	return items
+}
+
+// ckWALErr maps a closed (crash-abandoned) log to ErrCrashed, like every
+// other journaling path.
+func (r *Runtime) ckWALErr(err error) error {
+	if errors.Is(err, wal.ErrClosed) {
+		return ErrCrashed
+	}
+	return err
+}
+
+// maybeCheckpoint runs the automatic cadence after a commit: a
+// checkpoint every cfg.Every commits, or immediately when a watermark
+// trips. Runs on the committing goroutine; concurrent commits skip out
+// via the running flag.
+func (r *Runtime) maybeCheckpoint() {
+	cfg := r.ck.cfg
+	if cfg.Every <= 0 && cfg.HighWater <= 0 && cfg.HeapHighWater == 0 {
+		return
+	}
+	n := r.ck.sinceCk.Add(1)
+	due := cfg.Every > 0 && n >= int64(cfg.Every)
+	if !due && cfg.HighWater > 0 && r.liveNodes() >= cfg.HighWater {
+		r.ck.throttle.Store(true)
+		due = true
+	}
+	if !due && cfg.HeapHighWater > 0 && n%64 == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > cfg.HeapHighWater {
+			r.ck.throttle.Store(true)
+			due = true
+		}
+	}
+	if !due {
+		return
+	}
+	// Checkpoint handles its own crash conversion; an error here is
+	// recorded (the cadence retries at the next commit).
+	if _, err := r.Checkpoint(); err != nil && !errors.Is(err, ErrCrashed) {
+		r.noteWALErr(err)
+	}
+}
+
+// relieveOverload re-checks the watermark after a checkpoint and lifts
+// the admission throttle once the backlog has drained below LowWater.
+func (r *Runtime) relieveOverload() {
+	if !r.ck.throttle.Load() {
+		return
+	}
+	cfg := r.ck.cfg
+	if cfg.HighWater > 0 && r.liveNodes() >= cfg.LowWater {
+		return
+	}
+	r.ck.throttle.Store(false)
+}
+
+// admit is Submit's backpressure gate: above the high watermark new
+// roots are rejected with ErrOverload until a checkpoint drains the
+// backlog below the low watermark.
+func (r *Runtime) admitRoot() error {
+	if r.ck.throttle.Load() {
+		r.overloadThrottles.Add(1)
+		return fmt.Errorf("sched: admission of new roots suspended above the high watermark: %w", ErrOverload)
+	}
+	return nil
+}
+
+// Checkpoints returns the number of completed checkpoints.
+func (r *Runtime) Checkpoints() int64 { return r.ckTaken.Load() }
+
+// Throttled reports whether the overload gate is currently rejecting new
+// roots.
+func (r *Runtime) Throttled() bool { return r.ck.throttle.Load() }
+
+// foldable is a debugging/test helper: the roots currently accumulated
+// in the certifier (nil when certification is off).
+func (r *Runtime) certifiedRoots() []model.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cert == nil {
+		return nil
+	}
+	return r.cert.inc.System().Roots()
+}

@@ -99,7 +99,15 @@ func (r *Runtime) snapshotRead(a *attempt, comp *component, parent, id model.Nod
 	if ok {
 		val = comp.store.ReadAt(op.Item, ts)
 	} else {
+		// Take the snapshot and register it with the checkpoint state as
+		// one unit: a concurrent checkpoint cut computes its compaction
+		// frontier from registered snapshots, so the stamp must be visible
+		// before Compact can run, or the versions this read depends on
+		// could be pruned out from under it.
+		r.ck.gate.RLock(a.ts)
 		val, ts = comp.store.StableRead(op.Item, string(a.root))
+		r.ck.noteSnap(a, ts)
+		r.ck.gate.RUnlock(a.ts)
 		if a.snaps == nil {
 			a.snaps = make(map[string]uint64, 4)
 		}

@@ -17,27 +17,40 @@ import (
 // Analysis walks the log once and classifies every transaction (committed
 // iff its commit marker is durable, aborted iff marked, in-flight
 // otherwise) and every journaled apply (cancelled by TypeApplyFail,
-// compensated by TypeComp, leaked by TypeQuarantine).
+// compensated by TypeComp, leaked by TypeQuarantine). It also locates the
+// last *complete* checkpoint — TypeCkItem store snapshot terminated by a
+// TypeCheckpoint marker; trailing items without a marker are a crash
+// mid-checkpoint and are ignored.
 //
-// Redo replays, against freshly built stores, the seed baseline, every
-// non-cancelled apply, and every non-quarantined compensation, in log
-// order. Because the stores start empty, "redo" is total replay rather
-// than an LSN high-water comparison; the result is exactly the state the
-// crashed process had made durable.
+// Redo replays, against freshly built stores, the baseline and then the
+// tail. Without a checkpoint the baseline is the TypeSeed records and the
+// tail is everything; with one, the baseline is the checkpoint's item
+// snapshot and redo skips every record at or below the marker — the cut
+// (see checkpoint.go) guarantees each journaled mutation's effect is
+// either fully inside the snapshot or fully after the marker, never half
+// of each.
 //
-// Undo inverts — in reverse log order — each apply of a non-committed
-// transaction that has neither a compensation nor a quarantine on record,
-// journaling each inverse (and a final abort marker per transaction)
-// before applying it. The journaled inverses make recovery idempotent in
-// the ARIES compensation-log-record sense: recovering the recovered log
-// again finds every in-flight apply already compensated and has nothing
-// to undo. Quarantined compensations are deliberately NOT repaired: the
-// leak happened, the recovered runtime re-reports it via Quarantined().
+// Undo inverts — in reverse log order — each surviving apply of a
+// non-committed transaction that has neither a compensation nor a
+// quarantine on record, journaling each inverse (and a final abort marker
+// per transaction) before applying it. Applies of transactions in flight
+// at the checkpoint survive truncation by construction (the truncation
+// barrier never passes an in-flight attempt's first apply), and their
+// effects are inside the snapshot, so the inversion is exactly right. The
+// journaled inverses make recovery idempotent in the ARIES
+// compensation-log-record sense: recovering the recovered log again finds
+// every in-flight apply already compensated and has nothing to undo.
+// Quarantined compensations are deliberately NOT repaired: the leak
+// happened, the recovered runtime re-reports it — from the marker's
+// metadata for pre-checkpoint leaks, from surviving TypeQuarantine
+// records for the tail.
 //
-// Finally the committed projection (node/event records of committed
-// transactions) is rebuilt into the recorder and re-checked with the
-// Comp-C reduction (front.Check), so every recovery ends with the same
-// verdict a never-crashed run would get.
+// Finally the committed projection (node/event records of transactions
+// committed since the checkpoint) is rebuilt into the recorder and
+// re-checked with the Comp-C reduction (front.Check). The pre-checkpoint
+// prefix was folded out of the live engine at the cut with verdicts
+// provably unchanged, so verifying the tail is verifying everything the
+// recovered process can still be asked about.
 
 // ErrRecoveredViolation is returned by Recover when the recovered
 // committed execution fails the Comp-C check. The Recovered value is
@@ -50,39 +63,66 @@ type RecoveryStats struct {
 	Records   int   // valid records read
 	TornBytes int64 // torn tail truncated (0 on a clean shutdown)
 
-	Committed int // transactions with a durable commit marker
+	// CheckpointLSN is the marker recovery started from (0 = no
+	// checkpoint, full replay from the seed records).
+	CheckpointLSN uint64
+	// Skipped counts log records at or below the checkpoint marker —
+	// history the snapshot already covers, not replayed.
+	Skipped int
+
+	Committed int // cumulative commits (marker metadata + tail markers)
 	Aborted   int // transactions the crashed process had rolled back
 	InFlight  int // transactions interrupted by the crash (undone here)
 
 	Redone      int // applies + compensations replayed into the stores
 	Undone      int // inverse operations applied (and journaled) here
-	Quarantined int // leaked compensations re-reported from the log
+	Quarantined int // leaked compensations re-reported (metadata + log)
 }
 
 // Recovered is the result of a WAL recovery.
 type Recovered struct {
 	Runtime *Runtime       // rebuilt runtime, WAL re-attached, ready for new Submits
-	System  *model.System  // recovered committed execution
+	System  *model.System  // recovered committed execution (tail since checkpoint)
 	Verdict *front.Verdict // Comp-C verdict over System
 	Stats   RecoveryStats
 }
 
 // Recover rebuilds a runtime from the write-ahead log in cfg.Dir: torn
-// tail truncated, committed work redone, in-flight work undone and
-// journaled, quarantines re-reported, and the recovered execution
-// re-verified against Comp-C. On a verdict failure the Recovered value is
-// returned together with ErrRecoveredViolation.
+// tail truncated, the last durable checkpoint restored as the baseline,
+// the committed tail redone, in-flight work undone and journaled,
+// quarantines re-reported, and the recovered execution re-verified
+// against Comp-C. On a verdict failure the Recovered value is returned
+// together with ErrRecoveredViolation.
 func Recover(cfg WALConfig) (*Recovered, error) {
 	recs, info, err := wal.ReadAll(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(recs) == 0 || recs[0].Type != wal.TypeMeta {
-		return nil, fmt.Errorf("sched: %q does not start with a WAL metadata record", cfg.Dir)
-	}
+	ckLSN := info.CheckpointLSN
+	lsnOf := func(i int) uint64 { return info.FirstLSN + uint64(i) }
+
+	// Runtime configuration: from the last checkpoint marker when there is
+	// one (the segment holding the TypeMeta record may have been truncated
+	// away), from the leading metadata record otherwise.
 	var meta walMeta
-	if err := json.Unmarshal(recs[0].Meta, &meta); err != nil {
-		return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)
+	var ck ckMeta
+	if ckLSN > 0 {
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].Type == wal.TypeCheckpoint {
+				if err := json.Unmarshal(recs[i].Meta, &ck); err != nil {
+					return nil, fmt.Errorf("sched: bad checkpoint metadata: %w", err)
+				}
+				break
+			}
+		}
+		meta = ck.walMeta
+	} else {
+		if len(recs) == 0 || recs[0].Type != wal.TypeMeta {
+			return nil, fmt.Errorf("sched: %q does not start with a WAL metadata record", cfg.Dir)
+		}
+		if err := json.Unmarshal(recs[0].Meta, &meta); err != nil {
+			return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)
+		}
 	}
 	protocol, err := ParseProtocol(meta.Protocol)
 	if err != nil {
@@ -96,7 +136,7 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 
 	// --- Analysis ---
 	type applyRec struct {
-		lsn int // 1-based index into recs
+		lsn uint64 // absolute LSN
 		rec wal.Record
 	}
 	var (
@@ -108,13 +148,14 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 		committed   = map[string]bool{}
 		aborted     = map[string]bool{}
 		active      = map[string]bool{} // txns with any journaled mutation
-		maxSeq      uint64
+		tailCommits int                 // commit markers above the checkpoint
+		maxSeq      = ck.Seq
 	)
 	for i, rec := range recs {
-		lsn := uint64(i + 1)
+		lsn := lsnOf(i)
 		switch rec.Type {
 		case wal.TypeApply:
-			applies = append(applies, applyRec{lsn: i + 1, rec: rec})
+			applies = append(applies, applyRec{lsn: lsn, rec: rec})
 			applyByLSN[lsn] = rec
 			active[rec.Txn] = true
 		case wal.TypeApplyFail:
@@ -125,6 +166,9 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 			quarantined[rec.Ref] = true
 		case wal.TypeCommit:
 			committed[rec.Txn] = true
+			if lsn > ckLSN {
+				tailCommits++
+			}
 		case wal.TypeAbort:
 			aborted[rec.Txn] = true
 		case wal.TypeEvent:
@@ -134,10 +178,16 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 		}
 	}
 	stats := RecoveryStats{
-		Segments:  info.Segments,
-		Records:   info.Records,
-		TornBytes: info.TornBytes,
-		Committed: len(committed),
+		Segments:      info.Segments,
+		Records:       info.Records,
+		TornBytes:     info.TornBytes,
+		CheckpointLSN: ckLSN,
+	}
+	if ckLSN > 0 {
+		stats.Skipped = int(ckLSN - info.FirstLSN + 1)
+		stats.Committed = int(ck.Committed) + tailCommits
+	} else {
+		stats.Committed = len(committed)
 	}
 	for txn := range aborted {
 		if !committed[txn] {
@@ -162,19 +212,33 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 		}
 		return c.store, nil
 	}
-	for _, rec := range recs {
+	// Baseline: seed records, overlaid (in log order, so later checkpoints
+	// win) by the item snapshots of every complete checkpoint. Trailing
+	// ck-items above the last marker belong to a checkpoint that never
+	// completed and are skipped.
+	for i, rec := range recs {
+		var baseline bool
 		switch rec.Type {
 		case wal.TypeSeed:
-			s, err := storeOf(rec.Comp)
-			if err != nil {
-				log.Close()
-				return nil, err
-			}
-			s.Set(rec.Item, rec.Prev)
+			baseline = true
+		case wal.TypeCkItem:
+			baseline = lsnOf(i) < ckLSN
 		}
+		if !baseline {
+			continue
+		}
+		s, err := storeOf(rec.Comp)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		s.Set(rec.Item, rec.Prev)
 	}
 	for i, rec := range recs {
-		lsn := uint64(i + 1)
+		lsn := lsnOf(i)
+		if lsn <= ckLSN {
+			continue // inside the snapshot already (the cut's invariant)
+		}
 		switch rec.Type {
 		case wal.TypeApply:
 			if cancelled[lsn] {
@@ -200,8 +264,12 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 	}
 
 	// --- Undo ---
+	// Every surviving apply of a non-committed transaction is inverted,
+	// including pre-checkpoint ones: the truncation barrier kept them
+	// alive precisely because their effects sit inside the checkpoint
+	// snapshot with no durable outcome.
 	for i := len(applies) - 1; i >= 0; i-- {
-		lsn, rec := uint64(applies[i].lsn), applies[i].rec
+		lsn, rec := applies[i].lsn, applies[i].rec
 		if committed[rec.Txn] || cancelled[lsn] || compensated[lsn] || quarantined[lsn] {
 			continue
 		}
@@ -243,42 +311,56 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 		return nil, err
 	}
 
-	// Re-report quarantined compensations from the log.
-	for lsn := range quarantined {
-		rec, ok := applyByLSN[lsn]
+	// Re-report quarantined compensations: pre-checkpoint leaks from the
+	// marker metadata (their records may be truncated), tail leaks from
+	// the surviving TypeQuarantine records.
+	for _, q := range ck.Quarantines {
+		rt.quarantine(Quarantine{
+			Component: q.Component, Txn: q.Txn,
+			Op:  data.Op{Mode: data.Mode(q.Mode), Item: q.Item, Arg: q.Arg, Impl: data.Mode(q.Impl)},
+			Err: errors.New(q.Err),
+		})
+	}
+	for i, rec := range recs {
+		if rec.Type != wal.TypeQuarantine || lsnOf(i) <= ckLSN {
+			continue
+		}
+		apl, ok := applyByLSN[rec.Ref]
 		if !ok {
 			continue
 		}
 		rt.quarantine(Quarantine{
-			Component: rec.Comp, Txn: rec.Txn, Op: opOf(rec),
+			Component: apl.Comp, Txn: apl.Txn, Op: opOf(apl),
 			Err: errors.New("sched: compensation quarantined before crash (from WAL)"),
 		})
 	}
 	stats.Quarantined = len(rt.quarantined)
 
-	// --- Rebuild the committed projection ---
-	for _, rec := range recs {
+	// --- Rebuild the committed projection (tail since the checkpoint) ---
+	// The recorder holds only the tail, exactly as the live runtime's did
+	// after the cut pruned it; the folded prefix's verdict is sealed.
+	for i, rec := range recs {
+		if lsnOf(i) <= ckLSN || !committed[rec.Txn] {
+			continue
+		}
 		switch rec.Type {
 		case wal.TypeNode:
-			if committed[rec.Txn] {
-				rt.rec.nodes = append(rt.rec.nodes, nodeDecl{
-					id: model.NodeID(rec.Node), parent: model.NodeID(rec.Parent), sched: rec.Sched,
-				})
-			}
+			rt.rec.nodes = append(rt.rec.nodes, nodeDecl{
+				id: model.NodeID(rec.Node), parent: model.NodeID(rec.Parent), sched: rec.Sched,
+			})
 		case wal.TypeEvent:
-			if committed[rec.Txn] {
-				rt.rec.events = append(rt.rec.events, event{
-					seq: rec.Seq, comp: rec.Comp,
-					op: model.NodeID(rec.Node), parentTx: model.NodeID(rec.Parent),
-					item: rec.Item, mode: data.Mode(rec.Mode),
-				})
-			}
+			rt.rec.events = append(rt.rec.events, event{
+				seq: rec.Seq, comp: rec.Comp,
+				op: model.NodeID(rec.Node), parentTx: model.NodeID(rec.Parent),
+				item: rec.Item, mode: data.Mode(rec.Mode),
+			})
 		}
 	}
 	rt.commits.Store(int64(stats.Committed))
 	// Resume the global sequence past both the journaled high-water mark
-	// and anything the redo/undo passes allocated (version stamps come off
-	// this counter too — rewinding it would hand out duplicate stamps).
+	// (including the checkpoint's recorded clock) and anything the
+	// redo/undo passes allocated (version stamps come off this counter too
+	// — rewinding it would hand out duplicate stamps).
 	if cur := rt.seq.Load(); maxSeq > cur {
 		rt.seq.Store(maxSeq)
 	}

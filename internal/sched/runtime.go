@@ -146,6 +146,14 @@ type Metrics struct {
 	// passes that moved the attempt's snapshot reads forward to a newer
 	// stamp instead of aborting (see Runtime.RefreshRetries).
 	ValidationRefreshes int64
+
+	// Checkpoint/GC counters (zero unless EnableCheckpoints is on or
+	// Checkpoint was called explicitly).
+	CheckpointsTaken  int64 // completed checkpoint cuts
+	NodesPruned       int64 // forest nodes folded out of the certifier engine
+	SegmentsTruncated int64 // WAL segments deleted by TruncateBefore
+	VersionsCompacted int64 // MVCC versions dropped by Store.Compact at checkpoints
+	OverloadThrottles int64 // Submits rejected with ErrOverload at the high watermark
 }
 
 // String renders the metrics as one key=value line (compsim's summary
@@ -167,6 +175,10 @@ func (m Metrics) String() string {
 	if m.ValidationAborts+m.ValidationRefreshes > 0 {
 		fmt.Fprintf(&b, " validation-aborts=%d validation-refreshes=%d",
 			m.ValidationAborts, m.ValidationRefreshes)
+	}
+	if m.CheckpointsTaken+m.OverloadThrottles > 0 {
+		fmt.Fprintf(&b, " checkpoints=%d nodes-pruned=%d segments-truncated=%d versions-compacted=%d overload-throttles=%d",
+			m.CheckpointsTaken, m.NodesPruned, m.SegmentsTruncated, m.VersionsCompacted, m.OverloadThrottles)
 	}
 	return b.String()
 }
@@ -223,6 +235,17 @@ type Runtime struct {
 	crashed atomic.Bool // simulated-crash flag: every Submit drains with ErrCrashed
 	crashes atomic.Int64
 
+	walErrMu sync.Mutex
+	walErr   error // first filesystem error recorded while staging a simulated crash
+
+	// Checkpointing (see EnableCheckpoints, Checkpoint in checkpoint.go).
+	ck                *ckState
+	ckTaken           atomic.Int64
+	ckNodesPruned     atomic.Int64
+	ckSegsTruncated   atomic.Int64
+	ckVersionsDropped atomic.Int64
+	overloadThrottles atomic.Int64
+
 	// MaxRetries bounds retries per transaction (safety net; wait-die
 	// guarantees progress long before this).
 	MaxRetries int
@@ -266,6 +289,7 @@ func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 		rec:        newRecorder(),
 		wfg:        newWaitGraph(),
 		sealM:      make(map[string]uint64),
+		ck:         newCkState(),
 		MaxRetries:     10000,
 		SubRetries:     2,
 		RefreshRetries: 6,
@@ -339,6 +363,11 @@ func (r *Runtime) Metrics() Metrics {
 		CertifyRejects:       r.certRejects.Load(),
 		ValidationAborts:     r.valAborts.Load(),
 		ValidationRefreshes:  r.valRefreshes.Load(),
+		CheckpointsTaken:     r.ckTaken.Load(),
+		NodesPruned:          r.ckNodesPruned.Load(),
+		SegmentsTruncated:    r.ckSegsTruncated.Load(),
+		VersionsCompacted:    r.ckVersionsDropped.Load(),
+		OverloadThrottles:    r.overloadThrottles.Load(),
 	}
 	if r.wal != nil {
 		m.WALRecords = int64(r.wal.Records())

@@ -90,6 +90,13 @@ type attempt struct {
 	snaps      map[string]uint64
 	reads      []readRec
 	wset       map[string]struct{}
+
+	// Checkpoint-frontier registration (ckState.noteSnap): the oldest
+	// snapshot stamp this attempt may still validate at. Written only by
+	// the attempt's goroutine under ck.gate.RLock and read by the
+	// checkpoint under ck.gate.Lock, so the gate orders every access.
+	snapReg bool
+	snapLow uint64
 }
 
 type ownerRef struct {
@@ -148,6 +155,11 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 	if r.crashed.Load() {
 		return nil, ErrCrashed
 	}
+	// Overload backpressure: above the high watermark, new roots are
+	// refused until a checkpoint drains the backlog (EnableCheckpoints).
+	if aerr := r.admitRoot(); aerr != nil {
+		return nil, aerr
+	}
 	ts := r.tsc.Add(1)
 	rootID := model.NodeID(name)
 	retries := 0
@@ -184,35 +196,16 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 				r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
 				return nil, cerr
 			}
-			// Crash site "commit": fires before the commit batch is
-			// journaled, so recovery must undo this transaction.
-			r.fireCrash("", string(rootID), "commit", nil)
-			if jerr := r.journalCommit(a); jerr != nil {
+			if jerr := r.publishCommit(a, rootID); jerr != nil {
 				if errors.Is(jerr, ErrCrashed) {
 					return nil, ErrCrashed
 				}
 				r.rollback(a)
 				return nil, jerr
 			}
-			// Crash site "post-commit": the commit record is durable but
-			// locks are abandoned and the record never merged — recovery
-			// must redo this transaction from the log alone.
-			r.fireCrash("", string(rootID), "post-commit", nil)
-			// Root commit: finalize this root's versions (it will apply
-			// nothing further, so snapshot validation may stop treating
-			// them as dirty), release every lock, publish the record.
-			for _, s := range a.touchedStores() {
-				s.Retire(string(rootID))
-			}
-			r.clearSeal(string(rootID))
-			for i := len(a.owners) - 1; i >= 0; i-- {
-				a.owners[i].lm.release(a.owners[i].owner)
-			}
-			r.wfg.clear(a.ts)
-			r.mu.Lock()
-			r.rec.merge(a.stage)
-			r.mu.Unlock()
-			r.commits.Add(1)
+			// Automatic checkpoint cadence (EnableCheckpoints): runs after
+			// the publication releases the cut gate.
+			r.maybeCheckpoint()
 			return &TxResult{Root: rootID, Retries: retries, Values: a.values}, nil
 		}
 		if errors.Is(err, ErrCrashed) {
@@ -264,6 +257,45 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 	}
 }
 
+// publishCommit makes a validated, certified attempt's commit durable
+// and visible: the commit batch is journaled, the root's versions
+// retired, its locks released, and the staged record merged into the
+// committed projection. The whole publication holds the checkpoint cut's
+// read side, so a checkpoint never observes a commit whose batch is
+// journaled but whose effects are unpublished (or vice versa), and both
+// crash sites fire inside the gated window.
+func (r *Runtime) publishCommit(a *attempt, rootID model.NodeID) error {
+	r.ck.gate.RLock(a.ts)
+	defer r.ck.gate.RUnlock(a.ts)
+	// Crash site "commit": fires before the commit batch is
+	// journaled, so recovery must undo this transaction.
+	r.fireCrash("", string(rootID), "commit", nil)
+	if jerr := r.journalCommit(a); jerr != nil {
+		return jerr
+	}
+	// Crash site "post-commit": the commit record is durable but
+	// locks are abandoned and the record never merged — recovery
+	// must redo this transaction from the log alone.
+	r.fireCrash("", string(rootID), "post-commit", nil)
+	// Root commit: finalize this root's versions (it will apply
+	// nothing further, so snapshot validation may stop treating
+	// them as dirty), release every lock, publish the record.
+	for _, s := range a.touchedStores() {
+		s.Retire(string(rootID))
+	}
+	r.clearSeal(string(rootID))
+	for i := len(a.owners) - 1; i >= 0; i-- {
+		a.owners[i].lm.release(a.owners[i].owner)
+	}
+	r.wfg.clear(a.ts)
+	r.mu.Lock()
+	r.rec.merge(a.stage)
+	r.mu.Unlock()
+	r.commits.Add(1)
+	r.ck.drop(a)
+	return nil
+}
+
 // touchedStores returns the distinct stores the attempt mutated (small:
 // deduped by pointer).
 func (a *attempt) touchedStores() []*data.Store {
@@ -299,6 +331,10 @@ func (r *Runtime) rollback(a *attempt) {
 	}
 	a.owners = a.owners[:0]
 	r.wfg.clear(a.ts)
+	// Every journaled apply now has a journaled compensation, so the
+	// attempt no longer pins the WAL truncation barrier (and its snapshot
+	// no longer pins the compaction frontier).
+	r.ck.drop(a)
 }
 
 // rollbackTo undoes only the suffix of the attempt after snap: the
@@ -341,12 +377,16 @@ func (r *Runtime) compensate(a *attempt, from int) {
 		// work (an over-reported compensation that never ran re-runs at
 		// recovery — compensations here are idempotent restores/negations
 		// over a store rebuilt from the log, so replaying is safe).
+		// The journaled compensation and its store effect stay on one side
+		// of any checkpoint cut, like the forward apply they invert.
+		r.ck.gate.RLock(a.ts)
 		if u.lsn != 0 {
 			if _, jerr := r.journal(wal.Record{
 				Type: wal.TypeComp, Txn: string(a.root), Comp: u.comp,
 				Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
 				Arg: inv.Arg, Ref: u.lsn,
 			}); jerr != nil {
+				r.ck.gate.RUnlock(a.ts)
 				// The log is gone (crash) or unwritable: the process is
 				// effectively dead, recovery owns the remaining undo.
 				a.undo = a.undo[:from]
@@ -375,6 +415,7 @@ func (r *Runtime) compensate(a *attempt, from int) {
 			}
 			r.quarantine(Quarantine{Component: u.comp, Txn: string(a.root), Op: u.op, Err: err})
 		}
+		r.ck.gate.RUnlock(a.ts)
 	}
 	a.undo = a.undo[:from]
 }
@@ -495,8 +536,12 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 	// before-value recovery needs to invert it — precedes the store
 	// mutation. The leaf crash site sits exactly on this boundary, so
 	// FaultCrash can strand the log mid-append (CrashTear's torn record)
-	// or between journal and apply.
+	// or between journal and apply. Journal and mutation execute under
+	// the checkpoint cut's read side as one unit, so a checkpoint's store
+	// snapshot reflects exactly the applies journaled below its marker.
 	var lsn uint64
+	var res data.Result
+	var err error
 	if op.Physical() != data.ModeRead {
 		rec := wal.Record{
 			Type: wal.TypeApply, Txn: string(a.root), Node: string(id),
@@ -504,12 +549,25 @@ func (r *Runtime) leafOp(a *attempt, comp *component, parent model.NodeID, id mo
 			Arg: op.Arg, Prev: comp.store.Get(op.Item),
 		}
 		r.fireCrash(comp.name, string(a.root), string(id), &rec)
-		var jerr error
-		if lsn, jerr = r.journal(rec); jerr != nil {
+		err = func() error {
+			r.ck.gate.RLock(a.ts)
+			defer r.ck.gate.RUnlock(a.ts)
+			var jerr error
+			if lsn, jerr = r.journal(rec); jerr != nil {
+				return jerr
+			}
+			if lsn != 0 {
+				r.ck.noteApply(string(a.root), lsn)
+			}
+			res, jerr = comp.store.ApplyAs(op, string(a.root))
 			return jerr
+		}()
+		if err != nil && lsn == 0 {
+			return err // journaling failed; nothing to cancel
 		}
+	} else {
+		res, err = comp.store.ApplyAs(op, string(a.root))
 	}
-	res, err := comp.store.ApplyAs(op, string(a.root))
 	if err != nil {
 		if lsn != 0 {
 			// The journaled apply never executed: append a cancellation

@@ -188,6 +188,26 @@ func (r *Runtime) journalCommit(a *attempt) error {
 	return r.journalBatch(recs)
 }
 
+// noteWALErr records the first filesystem error hit while staging a
+// simulated crash image (wal.Abandon). The crash itself proceeds — a real
+// crash gets no error handling either — but the error is retained so
+// tests and operators can tell a clean simulation from a broken disk.
+func (r *Runtime) noteWALErr(err error) {
+	r.walErrMu.Lock()
+	if r.walErr == nil {
+		r.walErr = err
+	}
+	r.walErrMu.Unlock()
+}
+
+// WALError reports the first filesystem error recorded against the WAL
+// (nil in a healthy run).
+func (r *Runtime) WALError() error {
+	r.walErrMu.Lock()
+	defer r.walErrMu.Unlock()
+	return r.walErr
+}
+
 // crashPanic unwinds the crashing attempt's stack; Submit's deferred
 // recover converts it to ErrCrashed. Any other panic value keeps
 // propagating.
@@ -204,7 +224,11 @@ func (r *Runtime) crashNow(torn *wal.Record) {
 	if r.crashed.CompareAndSwap(false, true) {
 		r.crashes.Add(1)
 		if r.wal != nil {
-			r.wal.Abandon(torn)
+			if err := r.wal.Abandon(torn); err != nil {
+				// A real crash gets no error handling either; record the
+				// staging failure so tests surface filesystem problems.
+				r.noteWALErr(err)
+			}
 		}
 		r.globalLM.wake()
 		for _, c := range r.comps {

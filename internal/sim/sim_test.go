@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -247,6 +248,56 @@ func TestE13MVCCBeatsLockOnlyAtHighReadRatio(t *testing.T) {
 	if speedup := mvcc.tps / lock.tps; speedup < 1.3 {
 		t.Fatalf("mvcc %.0f tx/s vs lock %.0f tx/s (%.2fx); want clearly faster (>=1.3x)",
 			mvcc.tps, lock.tps, speedup)
+	}
+}
+
+func TestE14CheckpointBoundsRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs four certified WAL soaks; skipped in -short")
+	}
+	// A 5x spread keeps the unbounded cells affordable in CI (the whole
+	// point of E14 is that they get expensive fast). The gate is
+	// structural (records replayed at recovery), which is deterministic
+	// modulo client interleaving, unlike wall-clock or heap gauges. The
+	// checkpointed tail is gated by an absolute, cadence-derived bound
+	// rather than a growth ratio: when the cadence happens to fire on the
+	// final commit the short-horizon tail is legitimately zero.
+	cfg := CheckpointSoakConfig{
+		Horizons: []int{120, 600}, Every: 30, Clients: 6, SyncEvery: 32, Seed: 23,
+	}
+	points, err := checkpointCells(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]ckPoint{}
+	for _, pt := range points {
+		if !pt.recovered {
+			t.Fatalf("E14 cell %s/%d did not recover to a conserved Comp-C state", pt.mode, pt.horizon)
+		}
+		cells[fmt.Sprintf("%s/%d", pt.mode, pt.horizon)] = pt
+	}
+	ck5 := cells["checkpoint/600"]
+	un1, un5 := cells["unbounded/120"], cells["unbounded/600"]
+	if ck5.checkpoints == 0 {
+		t.Fatal("the checkpointed soak took no checkpoints")
+	}
+	// Unbounded recovery replays the whole history: ~5x growth.
+	if g := float64(un5.tailRecords) / float64(un1.tailRecords); g < 3 {
+		t.Fatalf("unbounded tail grew only %.1fx across a 5x horizon (%d -> %d records): the baseline premise failed",
+			g, un1.tailRecords, un5.tailRecords)
+	}
+	// Checkpointed recovery replays only the tail since the last marker:
+	// at most ~Every commits' worth of records (plus a little slop for
+	// in-flight clients), independent of the horizon.
+	if limit := cfg.Every * 20; ck5.tailRecords > limit {
+		t.Fatalf("checkpointed recovery replayed %d records, over the cadence bound %d: recovery is not bounded by the cadence",
+			ck5.tailRecords, limit)
+	}
+	// And at the long horizon, the checkpointed log replays far less than
+	// the unbounded one.
+	if ck5.tailRecords*4 > un5.tailRecords {
+		t.Fatalf("checkpointed recovery replayed %d of the unbounded %d records: truncation is not paying off",
+			ck5.tailRecords, un5.tailRecords)
 	}
 }
 

@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Checkpoint/truncation suite: the self-anchoring marker must keep
+// absolute LSNs stable across TruncateBefore and reopen, and ReadAll must
+// report where the durable history now starts.
+
+// ckItems builds a small store snapshot batch.
+func ckItems(n int) []Record {
+	items := make([]Record, n)
+	for i := range items {
+		items[i] = Record{Comp: "bank", Item: fmt.Sprintf("k%d", i), Prev: int64(i * 10)}
+	}
+	return items
+}
+
+func segCount(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".seg" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAppendCheckpointSelfAnchors checks the marker's Ref is its own LSN
+// and that ReadAll reports it.
+func TestAppendCheckpointSelfAnchors(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords(9) {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn, err := l.AppendCheckpoint(ckItems(3), Record{Meta: []byte(`{"seq":9}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 13 { // 9 records + 3 items + the marker
+		t.Fatalf("marker LSN = %d, want 13", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FirstLSN != 1 || info.CheckpointLSN != 13 {
+		t.Fatalf("scan info %+v, want FirstLSN 1, CheckpointLSN 13", info)
+	}
+	marker := recs[len(recs)-1]
+	if marker.Type != TypeCheckpoint || marker.Ref != 13 {
+		t.Fatalf("marker = %+v, want TypeCheckpoint with Ref 13", marker)
+	}
+	for i, rec := range recs[9:12] {
+		if rec.Type != TypeCkItem || rec.Item != fmt.Sprintf("k%d", i) {
+			t.Fatalf("ck-item %d = %+v", i, rec)
+		}
+	}
+}
+
+// TestTruncateBeforeKeepsLSNs rotates through several segments, takes a
+// checkpoint, truncates, and checks (a) old segments are deleted, (b) the
+// surviving records keep their absolute LSNs across reopen, (c) appends
+// continue the sequence.
+func TestTruncateBeforeKeepsLSNs(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every few records rotate.
+	l, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords(40) {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := segCount(t, dir)
+	if before < 3 {
+		t.Fatalf("only %d segments; the rotation premise failed", before)
+	}
+	ckLSN, err := l.AppendCheckpoint(ckItems(2), Record{Meta: []byte(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckLSN != 43 {
+		t.Fatalf("marker LSN = %d, want 43", ckLSN)
+	}
+	deleted, err := l.TruncateBefore(41) // the batch's first LSN
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted == 0 {
+		t.Fatal("TruncateBefore deleted nothing despite rotated segments")
+	}
+	if got := segCount(t, dir); got != before-deleted+1 { // +1: checkpoint landed in a fresh-ish tail
+		// The exact count depends on where rotation fell; just require it shrank.
+		if got >= before {
+			t.Fatalf("segment count %d did not shrink from %d", got, before)
+		}
+	}
+	// Post-truncation appends keep the absolute sequence.
+	lsn, err := l.Append(Record{Type: TypeCommit, Txn: "T-post"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 44 {
+		t.Fatalf("post-truncation LSN = %d, want 44", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ReadAll re-anchors from the marker.
+	recs, info, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointLSN != 43 {
+		t.Fatalf("CheckpointLSN = %d, want 43", info.CheckpointLSN)
+	}
+	if info.FirstLSN == 0 || info.FirstLSN == 1 {
+		t.Fatalf("FirstLSN = %d: truncation must move the start of history", info.FirstLSN)
+	}
+	if got := info.FirstLSN + uint64(len(recs)) - 1; got != 44 {
+		t.Fatalf("last LSN = %d, want 44", got)
+	}
+
+	// Reopen re-anchors too: the next append continues at 45.
+	l2, existing, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existing != uint64(len(recs)) {
+		t.Fatalf("reopen reports %d records on disk, scan saw %d", existing, len(recs))
+	}
+	lsn, err = l2.Append(Record{Type: TypeCommit, Txn: "T-reopen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 45 {
+		t.Fatalf("post-reopen LSN = %d, want 45", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncateBeforeConservative checks the barrier semantics: a segment
+// survives unless every record in it is strictly below the cut, and the
+// current segment always survives.
+func TestTruncateBeforeConservative(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords(40) {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A barrier at LSN 1 protects everything.
+	if n, err := l.TruncateBefore(1); err != nil || n != 0 {
+		t.Fatalf("TruncateBefore(1) = (%d, %v), want (0, nil)", n, err)
+	}
+	before := segCount(t, dir)
+	// A barrier past the end may delete everything but the current segment.
+	if _, err := l.TruncateBefore(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := segCount(t, dir); got != 1 {
+		t.Fatalf("%d segments survive a total truncation, want 1 (was %d)", got, before)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncompleteCheckpointIgnored leaves trailing ck-items with no marker
+// (a crash mid-checkpoint) and checks ReadAll does not move CheckpointLSN.
+func TestIncompleteCheckpointIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords(5) {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := l.AppendCheckpoint(ckItems(2), Record{Meta: []byte(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint crashes after its items, before its marker.
+	for _, rec := range ckItems(2) {
+		rec.Type = TypeCkItem
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointLSN != first {
+		t.Fatalf("CheckpointLSN = %d, want the last complete marker %d", info.CheckpointLSN, first)
+	}
+}

@@ -50,6 +50,18 @@ const (
 	// (client abort, retry-budget exhaustion, or a recovery undo pass):
 	// its applies are already neutralized by journaled compensations.
 	TypeAbort
+	// TypeCkItem is one store item of a checkpoint snapshot: the durable
+	// value of Comp/Item at the checkpoint cut. Recovery seeds stores from
+	// the last complete checkpoint's items instead of segment zero. A run
+	// of ck-items without a following TypeCheckpoint marker is an
+	// incomplete checkpoint (crash mid-checkpoint) and is ignored.
+	TypeCkItem
+	// TypeCheckpoint completes a checkpoint batch. Its Ref field holds the
+	// record's own LSN — checkpoints are self-anchoring, which is how Open
+	// restores absolute LSNs after older segments are truncated away. Its
+	// Meta blob carries the runtime's checkpoint header (configuration,
+	// clock, cumulative counters).
+	TypeCheckpoint
 
 	typeMax
 )
@@ -76,6 +88,10 @@ func (t Type) String() string {
 		return "commit"
 	case TypeAbort:
 		return "abort"
+	case TypeCkItem:
+		return "ck-item"
+	case TypeCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}

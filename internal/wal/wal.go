@@ -79,6 +79,16 @@ type ScanInfo struct {
 	Segments  int
 	Records   int
 	TornBytes int64 // bytes of torn tail found (and skipped) in the last segment
+
+	// FirstLSN is the absolute LSN of the first scanned record (0 when the
+	// log is empty). It is 1 for an untruncated log; after TruncateBefore
+	// has deleted older segments it is recovered from the self-anchoring
+	// Ref of the last checkpoint marker.
+	FirstLSN uint64
+	// CheckpointLSN is the absolute LSN of the last complete checkpoint
+	// marker, or 0 if the log holds none. Trailing ck-items without a
+	// marker (a crash mid-checkpoint) do not move it.
+	CheckpointLSN uint64
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
@@ -98,13 +108,27 @@ type Log struct {
 	lsn      uint64 // records appended over the log's lifetime
 	sinceSyn int
 
+	// segs tracks the on-disk segments in index order, with the absolute
+	// LSN of each segment's first record (or the next LSN to be written,
+	// for the empty current segment). TruncateBefore uses it to decide
+	// which segments are wholly older than a checkpoint.
+	segs []segMeta
+
 	closed bool
+}
+
+type segMeta struct {
+	idx   int    // segment index (file name)
+	first uint64 // LSN of the segment's first record
 }
 
 // Open opens (creating if necessary) the log in dir and positions it for
 // appending. Existing segments are scanned, a torn tail on the last
-// segment is physically truncated, and the number of valid existing
-// records is returned (0 means a fresh log).
+// segment is physically truncated, and the number of valid records on
+// disk is returned (0 means a fresh log). When older segments have been
+// deleted by TruncateBefore, the lifetime LSN is re-anchored from the
+// self-referencing Ref of the last checkpoint marker, so LSNs stay stable
+// across truncation and reopen.
 func Open(dir string, opts Options) (*Log, uint64, error) {
 	if dir == "" {
 		return nil, 0, errors.New("wal: empty directory")
@@ -125,13 +149,21 @@ func Open(dir string, opts Options) (*Log, uint64, error) {
 		return l, 0, nil
 	}
 	var count uint64
+	counts := make([]uint64, len(segs))
+	idx, markerIdx, markerRef := 0, -1, uint64(0)
 	for i, path := range segs {
 		last := i == len(segs)-1
-		n, validOff, _, err := scanSegment(path, last, nil)
+		n, validOff, _, err := scanSegment(path, last, func(r Record) {
+			if r.Type == TypeCheckpoint {
+				markerIdx, markerRef = idx, r.Ref
+			}
+			idx++
+		})
 		if err != nil {
 			return nil, 0, err
 		}
 		count += n
+		counts[i] = n
 		if !last {
 			continue
 		}
@@ -150,7 +182,23 @@ func Open(dir string, opts Options) (*Log, uint64, error) {
 		l.seg = segIndex(path)
 		l.size, l.flushed, l.synced = validOff, validOff, validOff
 	}
-	l.lsn = count
+	// Anchor absolute LSNs: the record at scan index j has LSN base+j+1,
+	// where base is the number of records truncated away before the first
+	// surviving segment. An untruncated log has base 0; a truncated one
+	// always retains its checkpoint marker, whose Ref is its own LSN.
+	var base uint64
+	if markerIdx >= 0 {
+		if markerRef < uint64(markerIdx)+1 {
+			return nil, 0, fmt.Errorf("wal: checkpoint marker at index %d claims LSN %d", markerIdx, markerRef)
+		}
+		base = markerRef - uint64(markerIdx) - 1
+	}
+	cum := base
+	for i, path := range segs {
+		l.segs = append(l.segs, segMeta{idx: segIndex(path), first: cum + 1})
+		cum += counts[i]
+	}
+	l.lsn = base + count
 	return l, count, nil
 }
 
@@ -181,6 +229,20 @@ func ReadAll(dir string) ([]Record, ScanInfo, error) {
 			info.TornBytes = torn
 		}
 	}
+	// Anchor absolute LSNs from the last checkpoint marker (see Open).
+	var base uint64
+	for j, r := range recs {
+		if r.Type == TypeCheckpoint {
+			if r.Ref < uint64(j)+1 {
+				return nil, info, fmt.Errorf("wal: checkpoint marker at index %d claims LSN %d", j, r.Ref)
+			}
+			base = r.Ref - uint64(j) - 1
+			info.CheckpointLSN = r.Ref
+		}
+	}
+	if len(recs) > 0 {
+		info.FirstLSN = base + 1
+	}
 	return recs, info, nil
 }
 
@@ -210,6 +272,65 @@ func (l *Log) AppendBatch(recs []Record) (uint64, error) {
 		}
 	}
 	return first, nil
+}
+
+// AppendCheckpoint journals one checkpoint batch contiguously: the store
+// snapshot items (TypeCkItem) followed by the completing marker. The
+// marker's Ref is backfilled with its own LSN before encoding — the
+// checkpoint anchors itself, which is how Open and ReadAll restore
+// absolute LSNs once TruncateBefore has deleted older segments. The batch
+// is fsynced before returning: a checkpoint only exists once durable.
+// Returns the marker's LSN.
+func (l *Log) AppendCheckpoint(items []Record, marker Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range items {
+		rec.Type = TypeCkItem
+		if _, err := l.appendLocked(rec); err != nil {
+			return 0, err
+		}
+	}
+	marker.Type = TypeCheckpoint
+	marker.Ref = l.lsn + 1
+	lsn, err := l.appendLocked(marker)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// TruncateBefore deletes segments whose records are all older than lsn —
+// i.e. wholly covered by a durable checkpoint at lsn. The segment holding
+// lsn and everything after it survive, as does the current segment.
+// Returns the number of segments deleted. LSNs are unaffected: they are
+// re-anchored from the checkpoint marker on the next Open.
+func (l *Log) TruncateBefore(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	deleted := 0
+	for len(l.segs) > 1 && l.segs[0].idx != l.seg {
+		// The first segment's last LSN is segs[1].first-1; delete it only
+		// when that is still below lsn.
+		if l.segs[1].first > lsn {
+			break
+		}
+		path := filepath.Join(l.dir, segmentName(l.segs[0].idx))
+		if err := os.Remove(path); err != nil {
+			return deleted, err
+		}
+		l.segs = l.segs[1:]
+		deleted++
+	}
+	if deleted > 0 {
+		syncDir(l.dir)
+	}
+	return deleted, nil
 }
 
 func (l *Log) appendLocked(rec Record) (uint64, error) {
@@ -301,6 +422,7 @@ func (l *Log) createSegment(idx int) error {
 	l.seg = idx
 	l.buf = l.buf[:0]
 	l.size, l.flushed, l.synced = int64(len(segMagic)), int64(len(segMagic)), int64(len(segMagic))
+	l.segs = append(l.segs, segMeta{idx: idx, first: l.lsn + 1})
 	return nil
 }
 
@@ -323,25 +445,33 @@ func (l *Log) Close() error {
 // fsynced are dropped (the file is truncated back to the last durable
 // offset — the loss window Options.SyncEvery opens), an optional torn
 // frame prefix of rec is left at the tail (a write caught mid-page), and
-// the log is closed. Every later Append returns ErrClosed.
-func (l *Log) Abandon(torn *Record) {
+// the log is closed. Every later Append returns ErrClosed. The returned
+// error reports filesystem failures while staging the crash image — the
+// simulated crash still happened, but the on-disk state may not match the
+// intended loss window.
+func (l *Log) Abandon(torn *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return
+		return nil
 	}
 	l.closed = true
 	l.buf = nil
-	l.f.Truncate(l.synced)
+	err := l.f.Truncate(l.synced)
 	if torn != nil {
 		frame := appendFrame(nil, *torn)
 		cut := frameHeaderLen + (len(frame)-frameHeaderLen)/2
 		if cut >= len(frame) {
 			cut = len(frame) - 1
 		}
-		l.f.WriteAt(frame[:cut], l.synced)
+		if _, werr := l.f.WriteAt(frame[:cut], l.synced); err == nil {
+			err = werr
+		}
 	}
-	l.f.Close()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Records returns the number of records appended (or recovered at Open)

@@ -66,6 +66,15 @@ type (
 	// errors.Is.
 	CertifyError = sched.CertifyError
 
+	// CheckpointConfig installs the bounded-memory checkpoint cadence and
+	// overload watermarks (Runtime.EnableCheckpoints): every N commits the
+	// runtime folds the certified history, prunes the recorder, compacts
+	// MVCC chains and truncates the WAL behind the snapshot barrier.
+	CheckpointConfig = sched.CheckpointConfig
+	// CheckpointStats reports one checkpoint: marker LSN, folded roots and
+	// nodes, WAL segments deleted, MVCC versions dropped.
+	CheckpointStats = sched.CheckpointStats
+
 	// Op is a data-store operation; Mode its semantic class.
 	Op = data.Op
 	// Mode names the semantic class of an operation.
@@ -124,6 +133,10 @@ var (
 	// the attempt back and retries it with a fresh snapshot, so Submit
 	// surfaces it only wrapped in ErrTooManyRetries.
 	ErrValidation = sched.ErrValidation
+	// ErrOverload is returned by Submit while the live-state high
+	// watermark (CheckpointConfig) is tripped: the caller should back off
+	// and retry once a checkpoint has drained the backlog.
+	ErrOverload = sched.ErrOverload
 	// ErrInsufficient rejects an escrow reserve that would take a
 	// bounded counter below its floor (see EscrowCounterTable).
 	ErrInsufficient = data.ErrInsufficient
