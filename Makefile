@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash mvcc soak bench benchsmoke experiments clean
+.PHONY: all build test verify race chaos crash mvcc soak net bench benchsmoke experiments clean
 
 all: build test
 
@@ -59,15 +59,28 @@ soak:
 	$(GO) test -race -count=1 -run 'TestCompactConcurrentStableReads|TestCompact' ./internal/data
 	$(GO) test -count=1 -run 'TestE14' ./internal/sim
 
+# net runs the distributed-commit suite under the race detector: the
+# message layer (framing, both transports, fault-injector determinism,
+# RPC deadline/retry), the coordinator/participant 2PC tests (all four
+# protocols x both transports, sentinel errors through the RPC layer,
+# crash windows + recovery, the duplicate/reorder idempotence seed
+# sweep), and the E15 network-chaos atomicity gate.
+net:
+	$(GO) test -race -count=1 ./internal/comm
+	$(GO) test -race -count=1 -run 'TestDist' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestE15' ./internal/sim
+
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
 # chaos-recovery, E11 crash-matrix, E12 online-certification, E13
-# MVCC-vs-lock and E14 bounded-memory checkpoint tables, plus checker,
-# incremental-certification, WAL and checkpoint microbenchmarks (ns/op,
-# CheckBatch worker scaling, E12 incremental-vs-full per-commit cost,
-# WAL append under each group-commit setting, full crash recovery, E14
-# tail/recovery growth across the horizon spread). See DESIGN.md §6.1.
+# MVCC-vs-lock, E14 bounded-memory checkpoint and E15 network-chaos
+# tables, plus checker, incremental-certification, WAL, checkpoint and
+# distributed-commit microbenchmarks (ns/op, CheckBatch worker scaling,
+# E12 incremental-vs-full per-commit cost, WAL append under each
+# group-commit setting, full crash recovery, E14 tail/recovery growth
+# across the horizon spread, end-to-end 2PC latency per transport). See
+# DESIGN.md §7.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14,E15 -json BENCH_checker.json
 
 # benchsmoke runs every benchmark for exactly one iteration — a CI smoke
 # test that the bench harness still compiles and completes, not a
@@ -75,7 +88,7 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# experiments regenerates every E1-E14 table on stdout.
+# experiments regenerates every E1-E15 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the reproduction (E1–E10 in
-// DESIGN.md §6). Each benchmark measures the cost of one experiment unit
+// DESIGN.md §7). Each benchmark measures the cost of one experiment unit
 // and, where meaningful, reports domain metrics (tx/s, accept rates) via
 // b.ReportMetric. cmd/compbench prints the corresponding tables.
 package compositetx_test

@@ -1,17 +1,18 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E14 in DESIGN.md §6 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E15 in DESIGN.md §7 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
 //	compbench [-only E4] [-samples n] [-json out.json]
 //
 // -only accepts a comma-separated list (e.g. -only E1,E2,E7). With -json,
-// the selected tables plus the checker, incremental-certification, WAL
-// and MVCC microbenchmarks (ns/op for the E1/E2 units, the E7 scaling
-// configurations, CheckBatch throughput at 1 vs 8 workers, the E12
-// incremental-vs-full per-commit cost, WAL append under each group-commit
-// setting, full crash recovery, the E13 MVCC-vs-lock curve cells, and the
-// E14 bounded-memory checkpoint soak) are also written to the given file;
+// the selected tables plus the checker, incremental-certification, WAL,
+// MVCC and distributed-commit microbenchmarks (ns/op for the E1/E2
+// units, the E7 scaling configurations, CheckBatch throughput at 1 vs 8
+// workers, the E12 incremental-vs-full per-commit cost, WAL append under
+// each group-commit setting, full crash recovery, the E13 MVCC-vs-lock
+// curve cells, the E14 bounded-memory checkpoint soak, and end-to-end
+// 2PC latency per transport for E15) are also written to the given file;
 // the repository keeps the result as BENCH_checker.json so the perf
 // trajectory is machine-readable across PRs.
 package main
@@ -107,8 +108,9 @@ func main() {
 		"E12": func() *sim.Table { return sim.E12Incremental(sim.DefaultRunConfig()) },
 		"E13": func() *sim.Table { return sim.E13MVCC(sim.DefaultMVCCConfig()) },
 		"E14": func() *sim.Table { return sim.E14Checkpoint(sim.DefaultCheckpointConfig()) },
+		"E15": func() *sim.Table { return sim.E15NetChaos(sim.DefaultNetChaosConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -136,7 +138,7 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...),
+			Benchmarks: append(append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...), sim.DistBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -20,6 +20,17 @@
 // barrier, so recovery replays only the tail since the last marker:
 //
 //	compsim -topology bank -roots 5000 -certify -wal /tmp/bank.wal -checkpoint-every 50
+//
+// With -distributed the same workload runs on a root coordinator plus
+// one participant scheduler per component, over an in-process channel or
+// TCP loopback transport, with presumed-abort 2PC deciding every root.
+// -net-faults injects seeded message chaos, -dist-crash kills either
+// side at a 2PC crash window (exit status 3), and -recover on the WAL
+// root rebuilds the whole cluster, drains the in-doubt set and
+// re-verifies the merged history:
+//
+//	compsim -distributed -topology bank -wal /tmp/bank.d -net-faults drop=0.03,dup=0.08 -dist-crash T5:coord-post-decision
+//	compsim -recover /tmp/bank.d
 package main
 
 import (
@@ -27,10 +38,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	ctx "compositetx"
@@ -140,9 +154,91 @@ func parseCrash(spec string) (ctx.Trigger, error) {
 	return trig, nil
 }
 
-// runRecover is the -recover mode: rebuild a runtime from a WAL directory
-// and report what recovery found.
-func runRecover(dir string) {
+// parseNetFaults turns "drop=0.03,dup=0.08,delay=0.1,reorder=0.05,
+// partition=0.01" into a NetFaultPlan (probabilities are per-message;
+// delay-mean and partition-window tune the fault durations).
+func parseNetFaults(spec string, seed int64) (ctx.NetFaultPlan, error) {
+	plan := ctx.NetFaultPlan{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return plan, fmt.Errorf("bad net-fault spec %q (want fault=value)", kv)
+		}
+		switch k {
+		case "delay-mean", "partition-window":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return plan, fmt.Errorf("bad duration %q: %v", v, err)
+			}
+			if k == "delay-mean" {
+				plan.Delay = d
+			} else {
+				plan.PartitionWindow = d
+			}
+			continue
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return plan, fmt.Errorf("bad seed %q: %v", v, err)
+			}
+			plan.Seed = s
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return plan, fmt.Errorf("bad fault probability %q: %v", v, err)
+		}
+		switch k {
+		case "drop":
+			plan.DropProb = p
+		case "dup":
+			plan.DupProb = p
+		case "delay":
+			plan.DelayProb = p
+		case "reorder":
+			plan.ReorderProb = p
+		case "partition":
+			plan.PartitionProb = p
+		default:
+			return plan, fmt.Errorf("unknown net fault %q (drop|dup|delay|reorder|partition|delay-mean|partition-window|seed)", k)
+		}
+	}
+	return plan, nil
+}
+
+// parseDistCrash turns "T5:coord-pre-decision" or "T5:part-prepare:east"
+// into a distributed crash-site injection.
+func parseDistCrash(spec string) (ctx.DistCrash, error) {
+	fields := strings.Split(spec, ":")
+	if len(fields) < 2 || len(fields) > 3 {
+		return ctx.DistCrash{}, fmt.Errorf("bad dist-crash spec %q (want txn:site[:participant])", spec)
+	}
+	d := ctx.DistCrash{Txn: fields[0], Site: fields[1]}
+	if len(fields) == 3 {
+		d.Part = fields[2]
+	}
+	switch d.Site {
+	case ctx.DistCrashCoordPre, ctx.DistCrashCoordPost:
+	case ctx.DistCrashPartPrepare, ctx.DistCrashPartDecide:
+	default:
+		return ctx.DistCrash{}, fmt.Errorf("unknown dist-crash site %q (%s|%s|%s|%s)", d.Site,
+			ctx.DistCrashCoordPre, ctx.DistCrashCoordPost, ctx.DistCrashPartPrepare, ctx.DistCrashPartDecide)
+	}
+	return d, nil
+}
+
+// runRecover is the -recover mode: rebuild a runtime from a WAL
+// directory and report what recovery found. A directory with a coord/
+// sub-log is a distributed durability root and recovers as a cluster.
+func runRecover(dir, transport string, rpcTimeout time.Duration) {
+	if st, err := os.Stat(filepath.Join(dir, "coord")); err == nil && st.IsDir() {
+		runRecoverDist(dir, transport, rpcTimeout)
+		return
+	}
 	rec, err := ctx.Recover(ctx.WALConfig{Dir: dir})
 	if rec == nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
@@ -158,6 +254,125 @@ func runRecover(dir string) {
 	fmt.Printf("recovered execution: %s\n", rec.Verdict)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(1)
+	}
+}
+
+// runRecoverDist rebuilds a whole distributed cluster from its
+// durability root, lets the termination protocol and decision
+// re-delivery drain the in-doubt set, and re-verifies the merged
+// committed history.
+func runRecoverDist(root, transport string, rpcTimeout time.Duration) {
+	cl, err := ctx.RecoverCluster(ctx.DistConfig{
+		WALRoot: root, Transport: transport, RPCTimeout: rpcTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(2)
+	}
+	defer cl.Close()
+	if err := cl.Settle(15 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(1)
+	}
+	fmt.Printf("recovered cluster root=%s transport=%s\n", root, transport)
+	fmt.Println(cl.Metrics().String())
+	v, err := cl.Audit()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(2)
+	}
+	fmt.Printf("recovered execution: %s\n", v)
+	if !v.Correct {
+		exit(1)
+	}
+}
+
+// runDistributed is the -distributed mode: the same topology, protocol
+// and workload flags, but executed by a coordinator + per-component
+// participant cluster over a message transport, with presumed-abort 2PC
+// deciding every root. Crash faults follow the single-process exit
+// convention: status 3, recover with -recover on the WAL root.
+func runDistributed(topoName string, topo *ctx.Topology, proto ctx.Protocol, cfg ctx.DistConfig,
+	crashSpec string, roots, steps, items, clients int, readRatio, writeRatio float64, seed int64) {
+	cl, err := ctx.StartCluster(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(2)
+	}
+	defer cl.Close()
+	if crashSpec != "" {
+		d, err := parseDistCrash(crashSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			exit(2)
+		}
+		cl.SetCrash(d)
+	}
+
+	programs := ctx.GenPrograms(topo, ctx.WorkloadParams{
+		Roots: roots, StepsPerTx: steps, Items: items,
+		ReadRatio: readRatio, WriteRatio: writeRatio, Seed: seed,
+	})
+	crashed := func() bool {
+		return cl.CoordinatorCrashed() || len(cl.CrashedParticipants()) > 0
+	}
+	var firstErr atomic.Value
+	start := time.Now()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				_, err := cl.Submit(fmt.Sprintf("T%d", i+1), programs[i])
+				if err != nil && !errors.Is(err, ctx.ErrCrashed) && !crashed() {
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	for i := range programs {
+		if crashed() {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("topology=%s protocol=%s roots=%d clients=%d transport=%s distributed=true\n",
+		topoName, proto, roots, clients, cfg.Transport)
+	if crashed() {
+		node := "coordinator"
+		if ps := cl.CrashedParticipants(); len(ps) > 0 {
+			node = "participant " + strings.Join(ps, ",")
+		}
+		fmt.Println(cl.Metrics().String())
+		fmt.Printf("crashed: %s killed by a crash fault; the logs under %s survived\n", node, cfg.WALRoot)
+		fmt.Printf("recover with: compsim -recover %s\n", cfg.WALRoot)
+		exit(3)
+	}
+	if e, _ := firstErr.Load().(error); e != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", e)
+		exit(1)
+	}
+	if err := cl.Settle(15 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(1)
+	}
+	m := cl.Metrics()
+	fmt.Printf("wall=%s throughput=%.0f tx/s\n", elapsed.Round(time.Millisecond), float64(m.Commits)/elapsed.Seconds())
+	fmt.Println(m.String())
+	v, err := cl.Audit()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+		exit(2)
+	}
+	fmt.Printf("recorded execution: %s\n", v)
+	if !v.Correct {
 		exit(1)
 	}
 }
@@ -181,7 +396,12 @@ func main() {
 	walSync := flag.Int("wal-sync", 1, "fsync every N WAL records (<=1: every record, <0: never)")
 	crash := flag.String("crash", "", `deterministic crash trigger: a leaf node ID ("T13/2/1") or "T13:commit"/"T13:post-commit" (requires -wal)`)
 	crashTear := flag.Bool("crash-tear", false, "tear the WAL record mid-append when the crash fires")
-	recoverDir := flag.String("recover", "", "recover from a WAL directory, report, and exit")
+	recoverDir := flag.String("recover", "", "recover from a WAL directory (single-process or a distributed root), report, and exit")
+	distributed := flag.Bool("distributed", false, "run a coordinator + per-component participant cluster (presumed-abort 2PC) instead of the single-process runtime")
+	transport := flag.String("transport", "chan", "distributed message transport: chan|tcp")
+	netFaults := flag.String("net-faults", "", "seeded network fault injection, e.g. drop=0.03,dup=0.08,delay=0.1,reorder=0.05,partition=0.01 (requires -distributed)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "distributed per-attempt RPC deadline (0 = default 25ms)")
+	distCrash := flag.String("dist-crash", "", `distributed crash trigger "txn:site[:participant]", e.g. T5:coord-post-decision or T5:part-prepare:east (requires -distributed and -wal)`)
 	certify := flag.Bool("certify", false, "certify every commit online against Comp-C and reject violating ones")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint every N commits: fold certified history, prune the recorder, compact MVCC chains, truncate the WAL (0 = never)")
 	optimistic := flag.Bool("optimistic", false, "serve leaf reads from MVCC snapshots and validate them at commit instead of taking semantic read locks")
@@ -193,7 +413,7 @@ func main() {
 	defer stopProfiles()
 
 	if *recoverDir != "" {
-		runRecover(*recoverDir)
+		runRecover(*recoverDir, *transport, *rpcTimeout)
 		stopProfiles()
 		return
 	}
@@ -233,6 +453,29 @@ func main() {
 	proto, ok := protos[*protoName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "compsim: unknown protocol %q\n", *protoName)
+		exit(2)
+	}
+
+	if *distributed {
+		netPlan, err := parseNetFaults(*netFaults, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compsim: %v\n", err)
+			exit(2)
+		}
+		if *distCrash != "" && *walDir == "" {
+			fmt.Fprintln(os.Stderr, "compsim: -dist-crash needs -wal (nothing would survive to recover)")
+			exit(2)
+		}
+		runDistributed(*topoName, topo, proto, ctx.DistConfig{
+			Protocol: proto, Topo: topo, Transport: *transport,
+			NetFaults: netPlan, WALRoot: *walDir, SyncEvery: *walSync,
+			RPCTimeout: *rpcTimeout,
+		}, *distCrash, *roots, *steps, *items, *clients, *readRatio, *writeRatio, *seed)
+		stopProfiles()
+		return
+	}
+	if *netFaults != "" || *distCrash != "" {
+		fmt.Fprintln(os.Stderr, "compsim: -net-faults and -dist-crash need -distributed")
 		exit(2)
 	}
 

@@ -1,0 +1,184 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRPCTimeout is returned by Mux.Call when every attempt's deadline
+// expired without a reply. sched wraps it into its own ErrTimeout chain.
+var ErrRPCTimeout = errors.New("comm: rpc timed out")
+
+// Handler processes one inbound request. It runs on its own goroutine
+// per message, so handlers may block (lock waits, WAL forces) without
+// stalling the endpoint's receive loop.
+type Handler func(m Message)
+
+// Mux multiplexes request/reply traffic over one Endpoint. Outbound
+// Call assigns a correlation ID, retries with the SAME ID on a capped
+// exponential backoff until the per-attempt deadline elapses (so
+// receivers can dedup retries exactly like fault-injected duplicates),
+// and completes when the first reply with that ID arrives. Inbound
+// messages whose Kind is a reply resolve a pending call; everything
+// else is handed to the Handler.
+type Mux struct {
+	ep      Endpoint
+	handler Handler
+
+	nextID  atomic.Uint64
+	started atomic.Bool
+	mu      sync.Mutex
+	pending map[uint64]chan Message
+	closed  bool
+	done    chan struct{}
+}
+
+// NewMux wraps ep; nothing is delivered until Start. handler may be nil
+// when the node only issues calls (a pure client); inbound non-replies
+// are then dropped.
+func NewMux(ep Endpoint, handler Handler) *Mux {
+	return &Mux{
+		ep:      ep,
+		handler: handler,
+		pending: make(map[uint64]chan Message),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the receive loop and returns the mux. Construction and
+// start are separate so the owner can publish the mux (store it where
+// handlers will read it) before the first message can possibly arrive —
+// recovery reconnects an endpoint whose peers are already retrying.
+func (x *Mux) Start() *Mux {
+	if x.started.CompareAndSwap(false, true) {
+		go x.recvLoop()
+	}
+	return x
+}
+
+// Name returns the underlying endpoint's name.
+func (x *Mux) Name() string { return x.ep.Name() }
+
+// Close shuts the endpoint down; pending calls fail with ErrRPCTimeout
+// at their deadline (the receive loop exits, no more replies arrive).
+func (x *Mux) Close() error {
+	x.mu.Lock()
+	x.closed = true
+	x.mu.Unlock()
+	err := x.ep.Close()
+	if x.started.Load() {
+		<-x.done
+	}
+	return err
+}
+
+func (x *Mux) recvLoop() {
+	defer close(x.done)
+	for {
+		m, ok := x.ep.Recv()
+		if !ok {
+			return
+		}
+		if m.Kind.IsReply() {
+			x.mu.Lock()
+			ch := x.pending[m.ID]
+			x.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default: // duplicate reply for an already-resolved call
+				}
+			}
+			continue
+		}
+		if x.handler != nil {
+			go x.handler(m)
+		}
+	}
+}
+
+// Send fires one message with no reply expected (decision re-delivery,
+// replies from handlers). The From field is stamped automatically.
+func (x *Mux) Send(to string, m Message) error {
+	m.From = x.ep.Name()
+	return x.ep.Send(to, m)
+}
+
+// Reply answers an inbound request: echoes the request ID and sends to
+// the request's From address.
+func (x *Mux) Reply(req Message, reply Message) error {
+	reply.ID = req.ID
+	return x.Send(req.From, reply)
+}
+
+// Call sends req to `to` and waits for the matching reply. timeout is
+// the per-attempt deadline; retries is the number of RE-sends after the
+// first attempt (retries=0 → exactly one attempt). Backoff between
+// attempts doubles from timeout/4, capped at 2x timeout. All attempts
+// carry the
+// same correlation ID so the receiver can deduplicate. Returns
+// ErrRPCTimeout (wrapped) when every attempt expires.
+func (x *Mux) Call(to string, req Message, timeout time.Duration, retries int) (Message, error) {
+	if timeout <= 0 {
+		timeout = 50 * time.Millisecond
+	}
+	id := x.nextID.Add(1)
+	req.ID = id
+	req.From = x.ep.Name()
+
+	ch := make(chan Message, 1)
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return Message{}, fmt.Errorf("comm: mux %s: %w", x.ep.Name(), ErrClosed)
+	}
+	x.pending[id] = ch
+	x.mu.Unlock()
+	defer func() {
+		x.mu.Lock()
+		delete(x.pending, id)
+		x.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	backoff := timeout / 4
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := x.ep.Send(to, req); err != nil {
+			// An unreachable or unregistered peer may be mid-restart;
+			// remember the error and keep retrying until attempts run out.
+			lastErr = err
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(timeout)
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-timer.C:
+		}
+		if attempt >= retries {
+			err := fmt.Errorf("comm: call %s to %s (%d attempts): %w", req.Kind, to, attempt+1, ErrRPCTimeout)
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last send error: %v)", err, lastErr)
+			}
+			return Message{}, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 2*timeout {
+				backoff = 2 * timeout
+			}
+		}
+	}
+}

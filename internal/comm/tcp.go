@@ -1,0 +1,283 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork is the loopback socket transport. Each Endpoint opens a
+// listener on 127.0.0.1:0 and registers its address in the shared
+// registry; Send opens (and caches) one persistent connection per
+// destination and writes CRC-framed messages, redialing once if a
+// cached connection has gone stale. Framing matches the WAL's
+// discipline: [len u32][crc32 u32][body], crc over the body, both
+// little-endian. A frame that fails the CRC poisons the connection
+// (closed and dropped), never the process.
+type TCPNetwork struct {
+	mu     sync.Mutex
+	addrs  map[string]string
+	eps    map[string]*tcpEndpoint
+	closed bool
+}
+
+// NewTCPNetwork creates an empty TCP loopback network.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{addrs: make(map[string]string), eps: make(map[string]*tcpEndpoint)}
+}
+
+// Endpoint starts a listener for name, replacing any prior registration
+// (the old listener is closed; peers redial the new address on their
+// next send, which is exactly the crash-recovery rejoin path).
+func (n *TCPNetwork) Endpoint(name string) (Endpoint, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp listen: %w", err)
+	}
+	ep := &tcpEndpoint{
+		net: n, name: name, ln: ln,
+		conns:   make(map[string]net.Conn),
+		inConns: make(map[net.Conn]struct{}),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("comm: network: %w", ErrClosed)
+	}
+	if old := n.eps[name]; old != nil {
+		old.shutdown()
+	}
+	n.addrs[name] = ln.Addr().String()
+	n.eps[name] = ep
+	n.mu.Unlock()
+
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close shuts every endpoint and forgets all addresses.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	return nil
+}
+
+func (n *TCPNetwork) addrOf(name string) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return "", fmt.Errorf("comm: network: %w", ErrClosed)
+	}
+	addr, ok := n.addrs[name]
+	if !ok {
+		return "", fmt.Errorf("comm: %w %q", ErrUnknownPeer, name)
+	}
+	return addr, nil
+}
+
+type tcpEndpoint struct {
+	net  *TCPNetwork
+	name string
+	ln   net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []Message
+	conns   map[string]net.Conn   // outbound, keyed by peer name
+	inConns map[net.Conn]struct{} // accepted, closed on shutdown to unblock readers
+	closed  bool
+	wg      sync.WaitGroup // reader goroutines
+}
+
+func (e *tcpEndpoint) Name() string { return e.name }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inConns[c] = struct{}{}
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.inConns, c)
+		e.mu.Unlock()
+	}()
+	for {
+		m, err := readFrame(c)
+		if err != nil {
+			return // EOF, poisoned frame, or connection closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		e.inbox = append(e.inbox, m)
+		e.cond.Signal()
+		e.mu.Unlock()
+	}
+}
+
+func (e *tcpEndpoint) Send(to string, m Message) error {
+	body := Encode(nil, m)
+	// First try over a cached connection; on a write error redial once —
+	// the peer may have restarted on a new address.
+	if c := e.cachedConn(to); c != nil {
+		if writeFrame(c, body) == nil {
+			return nil
+		}
+		e.dropConn(to, c)
+	}
+	addr, err := e.net.addrOf(to)
+	if err != nil {
+		return err
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("comm: tcp dial %s: %w", to, err)
+	}
+	if err := writeFrame(c, body); err != nil {
+		c.Close()
+		return fmt.Errorf("comm: tcp send to %s: %w", to, err)
+	}
+	e.cacheConn(to, c)
+	return nil
+}
+
+func (e *tcpEndpoint) cachedConn(to string) net.Conn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.conns[to]
+}
+
+func (e *tcpEndpoint) cacheConn(to string, c net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return
+	}
+	if old := e.conns[to]; old != nil {
+		old.Close()
+	}
+	e.conns[to] = c
+}
+
+func (e *tcpEndpoint) dropConn(to string, c net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	c.Close()
+}
+
+func (e *tcpEndpoint) Recv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.inbox) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.inbox) == 0 {
+		return Message{}, false
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m, true
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.shutdown()
+	return nil
+}
+
+func (e *tcpEndpoint) shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.inbox = nil
+	conns := e.conns
+	e.conns = nil
+	in := make([]net.Conn, 0, len(e.inConns))
+	for c := range e.inConns {
+		in = append(in, c)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, c := range in {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+// writeFrame writes [len][crc][body] in one Write call so concurrent
+// frames on the same connection never interleave (net.Conn Write is
+// goroutine-safe per call).
+func writeFrame(c net.Conn, body []byte) error {
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	_, err := c.Write(frame)
+	return err
+}
+
+const maxFrame = 1 << 20 // 1 MiB; protocol messages are tiny
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("comm: tcp frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Message{}, fmt.Errorf("comm: tcp frame crc mismatch")
+	}
+	return Decode(body)
+}

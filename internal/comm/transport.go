@@ -1,0 +1,162 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by Send on a closed endpoint or network.
+var ErrClosed = errors.New("comm: endpoint closed")
+
+// ErrUnknownPeer is returned by Send when the destination name has never
+// registered an endpoint on the network.
+var ErrUnknownPeer = errors.New("comm: unknown peer")
+
+// Network is a named point-to-point message fabric. Endpoint registers
+// (or re-registers) a name and returns its mailbox; calling Endpoint
+// again with the same name replaces the previous registration — that is
+// how a recovered node rejoins after a crash dropped its old endpoint.
+type Network interface {
+	Endpoint(name string) (Endpoint, error)
+	Close() error
+}
+
+// Endpoint is one node's attachment to a Network. Send is asynchronous
+// and may silently drop, duplicate, delay, or reorder under fault
+// injection; a nil error means "handed to the fabric", not "delivered".
+// Recv blocks until a message arrives or the endpoint closes (ok=false).
+type Endpoint interface {
+	Name() string
+	Send(to string, m Message) error
+	Recv() (Message, bool)
+	Close() error
+}
+
+// ChanNetwork is the in-process transport: an unbounded FIFO inbox per
+// endpoint guarded by a mutex + cond. Unbounded matters — 2PC decision
+// fan-out must never block the coordinator on a slow participant, and
+// the fault injector's delay goroutines re-inject out of band.
+type ChanNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*chanEndpoint
+	closed    bool
+}
+
+// NewChanNetwork creates an empty in-process network.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{endpoints: make(map[string]*chanEndpoint)}
+}
+
+// Endpoint registers name, replacing (and closing) any previous
+// endpoint with the same name.
+func (n *ChanNetwork) Endpoint(name string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("comm: network: %w", ErrClosed)
+	}
+	if old := n.endpoints[name]; old != nil {
+		old.closeLocked()
+	}
+	ep := &chanEndpoint{net: n, name: name}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.endpoints[name] = ep
+	return ep, nil
+}
+
+// Close shuts every endpoint; pending Recv calls return ok=false.
+func (n *ChanNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, ep := range n.endpoints {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+func (n *ChanNetwork) deliver(to string, m Message) error {
+	n.mu.Lock()
+	ep := n.endpoints[to]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return fmt.Errorf("comm: network: %w", ErrClosed)
+	}
+	if ep == nil {
+		return fmt.Errorf("comm: %w %q", ErrUnknownPeer, to)
+	}
+	ep.push(m)
+	return nil
+}
+
+type chanEndpoint struct {
+	net  *ChanNetwork
+	name string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []Message
+	closed bool
+}
+
+func (e *chanEndpoint) Name() string { return e.name }
+
+func (e *chanEndpoint) Send(to string, m Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("comm: %s: %w", e.name, ErrClosed)
+	}
+	return e.net.deliver(to, m)
+}
+
+func (e *chanEndpoint) push(m Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return // messages to a crashed node vanish, like the real network
+	}
+	e.inbox = append(e.inbox, m)
+	e.cond.Signal()
+}
+
+func (e *chanEndpoint) Recv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.inbox) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.inbox) == 0 {
+		return Message{}, false
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m, true
+}
+
+func (e *chanEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closeMailboxLocked()
+	return nil
+}
+
+// closeLocked is called with the network mutex held (registration
+// replacement and network close); it must not take e.net.mu.
+func (e *chanEndpoint) closeLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closeMailboxLocked()
+}
+
+func (e *chanEndpoint) closeMailboxLocked() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.inbox = nil
+	e.cond.Broadcast()
+}

@@ -1,0 +1,700 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compositetx/internal/comm"
+	"compositetx/internal/data"
+	"compositetx/internal/model"
+	"compositetx/internal/wal"
+)
+
+// coordName is the coordinator's reserved endpoint name.
+const coordName = "coord"
+
+// dcomp is the coordinator's view of one component: just enough topology
+// to route operations and assemble the recorded system (the component's
+// actual store and locks live at its participant).
+type dcomp struct {
+	name     string
+	hasStore bool
+	modes    *data.ModeTable
+}
+
+// coTxn tracks one durably committed transaction until every participant
+// acked its decision (then TypeEnd retires it from re-delivery).
+type coTxn struct {
+	parts   []string
+	pending map[string]bool
+	ended   bool
+}
+
+// Coordinator is the root scheduler of the distributed runtime. It walks
+// transaction programs exactly like the single-process Runtime — but
+// every lock grant and store operation is an RPC to the owning
+// participant — and commits through presumed-abort 2PC. It is also the
+// event-sequence authority: sequence numbers are stamped centrally when
+// a grant's reply arrives, which is order-consistent because every
+// participant holds its locks to the decision (two conflicting grants
+// are always separated by a full decision round-trip through here).
+type Coordinator struct {
+	protocol Protocol
+	topo     *Topology
+	comps    map[string]*dcomp
+	mux      *comm.Mux
+	wal      *wal.Log
+	clock    atomic.Uint64 // Lamport clock; event-sequence authority
+	tsc      atomic.Uint64 // wait-die timestamp source
+	crashed  atomic.Bool
+	crash    *distCrashState
+
+	rpcTimeout time.Duration
+	rpcRetries int
+	maxRetries int
+	maxActive  int
+	lockWait   time.Duration
+
+	mu        sync.Mutex
+	rec       *recorder
+	inflight  map[string]bool   // txns between first RPC and decision (Query -> retry)
+	committed map[string]*coTxn // durable commit decisions
+	active    int
+
+	commits    atomic.Int64
+	abortRetry atomic.Int64
+	redelivers atomic.Int64
+
+	stop chan struct{}
+	bg   sync.WaitGroup
+}
+
+// dattempt is one attempt of one root transaction at the coordinator.
+type dattempt struct {
+	txn     string
+	root    model.NodeID
+	attempt uint32
+	ts      uint64
+	stage   *stagedRecord
+	values  []int64
+	touched map[string]bool
+	rng     *rand.Rand
+}
+
+func newCoordinator(cfg DistConfig, topo *Topology, crash *distCrashState) *Coordinator {
+	c := &Coordinator{
+		protocol: cfg.Protocol,
+		topo:     topo,
+		comps:    map[string]*dcomp{},
+		crash:    crash,
+
+		rpcTimeout: cfg.RPCTimeout,
+		rpcRetries: cfg.RPCRetries,
+		maxRetries: cfg.MaxRetries,
+		maxActive:  cfg.MaxActive,
+		lockWait:   cfg.LockWait,
+
+		rec:       newRecorder(),
+		inflight:  map[string]bool{},
+		committed: map[string]*coTxn{},
+		stop:      make(chan struct{}),
+	}
+	for _, spec := range topo.Specs {
+		modes := spec.Modes
+		if modes == nil {
+			modes = data.SemanticTable()
+		}
+		c.comps[spec.Name] = &dcomp{name: spec.Name, hasStore: spec.HasStore, modes: modes}
+	}
+	return c
+}
+
+// connect registers the coordinator on the network (after any recovery
+// rebuild, so queries never observe partial state).
+func (c *Coordinator) connect(ep comm.Endpoint) {
+	c.mux = comm.NewMux(ep, c.handle)
+	c.mux.Start()
+}
+
+// start launches the decision re-delivery loop.
+func (c *Coordinator) start(every time.Duration) {
+	c.bg.Add(1)
+	go c.redeliverLoop(every)
+}
+
+func (c *Coordinator) tick() uint64 { return c.clock.Add(1) }
+
+func (c *Coordinator) mergeClock(remote uint64) {
+	for {
+		cur := c.clock.Load()
+		if remote <= cur || c.clock.CompareAndSwap(cur, remote) {
+			return
+		}
+	}
+}
+
+// crashNow simulates a coordinator crash: log abandoned, endpoint closed
+// (participant queries go unanswered until recovery re-registers it).
+func (c *Coordinator) crashNow() {
+	if !c.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.wal != nil {
+		c.wal.Abandon(nil)
+	}
+	close(c.stop)
+	c.mux.Close()
+}
+
+func (c *Coordinator) close() {
+	if c.crashed.CompareAndSwap(false, true) {
+		close(c.stop)
+		c.mux.Close()
+		if c.wal != nil {
+			c.wal.Close()
+		}
+	}
+	c.bg.Wait()
+}
+
+// handle answers the termination protocol: a prepared participant asking
+// for a transaction's outcome gets commit (a durable decision exists),
+// retry (the transaction is still executing or voting), or the presumed
+// abort.
+func (c *Coordinator) handle(m comm.Message) {
+	if c.crashed.Load() || m.Kind != comm.KindQuery {
+		return
+	}
+	c.mergeClock(m.Clock)
+	rep := comm.Message{Kind: comm.KindQueryReply, OK: true, Txn: m.Txn}
+	c.mu.Lock()
+	if _, ok := c.committed[m.Txn]; ok {
+		rep.Commit = true
+	} else if c.inflight[m.Txn] {
+		rep.Code = dcodeRetry
+	}
+	c.mu.Unlock()
+	rep.Clock = c.tick()
+	c.mux.Reply(m, rep)
+}
+
+// call performs one RPC with the coordinator's deadline/retry policy and
+// maps transport failures onto the runtime's sentinels.
+func (c *Coordinator) call(to string, req comm.Message) (comm.Message, error) {
+	if c.crashed.Load() {
+		return comm.Message{}, ErrCrashed
+	}
+	req.Clock = c.tick()
+	rep, err := c.mux.Call(to, req, c.rpcTimeout, c.rpcRetries)
+	if err != nil {
+		if c.crashed.Load() || errors.Is(err, comm.ErrClosed) {
+			return comm.Message{}, ErrCrashed
+		}
+		if errors.Is(err, comm.ErrRPCTimeout) {
+			return comm.Message{}, fmt.Errorf("sched: rpc %s to %s: %w: %w", req.Kind, to, ErrTimeout, err)
+		}
+		return comm.Message{}, fmt.Errorf("sched: rpc %s to %s: %w", req.Kind, to, err)
+	}
+	c.mergeClock(rep.Clock)
+	return rep, nil
+}
+
+// replyErr maps a participant's reply code back onto the sentinel errors,
+// wrapped with %w so errors.Is(err, ErrDie/ErrTimeout/ErrComponentDown/
+// ErrOverload) holds across the RPC boundary.
+func replyErr(from string, rep comm.Message) error {
+	switch rep.Code {
+	case dcodeDie:
+		return fmt.Errorf("sched: wait-die sacrifice at %s: %w", from, ErrDie)
+	case dcodeTimeout:
+		return fmt.Errorf("sched: lock wait expired at %s: %w", from, ErrTimeout)
+	case dcodeCrashed:
+		return fmt.Errorf("sched: participant %s is crashed: %w", from, ErrComponentDown)
+	case dcodeOverload:
+		return fmt.Errorf("sched: participant %s refused admission: %w", from, ErrOverload)
+	case dcodeStale:
+		return fmt.Errorf("sched: participant %s abandoned the attempt: %w", from, ErrTimeout)
+	default:
+		return fmt.Errorf("sched: participant %s: %s", from, rep.Err)
+	}
+}
+
+// Submit runs the program as a distributed root transaction: the same
+// retry loop as the single-process Runtime (wait-die sacrifices, lock
+// timeouts, and down participants retry with the attempt's original
+// timestamp), but each failed attempt is aborted at every touched
+// participant before the next begins, and a successful walk commits
+// through 2PC.
+func (c *Coordinator) Submit(name string, root Invocation) (*TxResult, error) {
+	if _, ok := c.comps[root.Component]; !ok {
+		return nil, fmt.Errorf("sched: unknown component %q", root.Component)
+	}
+	if c.crashed.Load() {
+		return nil, ErrCrashed
+	}
+	if err := c.admit(); err != nil {
+		return nil, err
+	}
+	defer c.release()
+
+	ts := c.tsc.Add(1)
+	rootID := model.NodeID(name)
+	retries := 0
+	for {
+		if c.crashed.Load() {
+			return nil, ErrCrashed
+		}
+		a := &dattempt{
+			txn:     name,
+			root:    rootID,
+			attempt: uint32(retries + 1),
+			ts:      ts,
+			stage:   newStagedRecord(),
+			touched: map[string]bool{},
+			rng:     rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+		}
+		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
+		c.setInflight(name, true)
+		err := c.exec(a, rootID, root)
+		if err == nil {
+			err = c.commit2PC(a)
+			if err == nil {
+				return &TxResult{Root: rootID, Retries: retries, Values: a.values}, nil
+			}
+		} else {
+			c.setInflight(name, false)
+			c.abortAttempt(a)
+		}
+		if errors.Is(err, ErrCrashed) {
+			return nil, ErrCrashed
+		}
+		switch {
+		case errors.Is(err, ErrDie), errors.Is(err, ErrTimeout), errors.Is(err, ErrInjected):
+			// Retryable: sacrifices, expired lock waits and RPC deadlines
+			// (partitions heal, crashed participants recover), abandoned
+			// attempts. The transaction keeps its timestamp and ages into
+			// priority under wait-die.
+		default:
+			return nil, err
+		}
+		retries++
+		c.abortRetry.Add(1)
+		if retries > c.maxRetries {
+			return nil, fmt.Errorf("%w (last abort: %w)", ErrTooManyRetries, err)
+		}
+		shift := retries
+		if shift > 6 {
+			shift = 6
+		}
+		base := 50 << shift
+		select {
+		case <-c.stop:
+			return nil, ErrCrashed
+		case <-time.After(time.Duration(base/2+a.rng.Intn(base)) * time.Microsecond):
+		}
+	}
+}
+
+func (c *Coordinator) admit() error {
+	if c.maxActive <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active >= c.maxActive {
+		return fmt.Errorf("sched: %d distributed roots in flight: %w", c.active, ErrOverload)
+	}
+	c.active++
+	return nil
+}
+
+func (c *Coordinator) release() {
+	if c.maxActive <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.active--
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) setInflight(txn string, v bool) {
+	c.mu.Lock()
+	if v {
+		c.inflight[txn] = true
+	} else {
+		delete(c.inflight, txn)
+	}
+	c.mu.Unlock()
+}
+
+// exec walks one (sub)transaction's steps, issuing Apply RPCs for leaf
+// operations and Lock RPCs plus recursion for invocations.
+func (c *Coordinator) exec(a *dattempt, node model.NodeID, inv Invocation) error {
+	dc := c.comps[inv.Component]
+	if dc == nil {
+		return fmt.Errorf("sched: unknown component %q", inv.Component)
+	}
+	for i, step := range inv.Steps {
+		if c.crashed.Load() {
+			return ErrCrashed
+		}
+		childID := model.NodeID(fmt.Sprintf("%s/%d", node, i+1))
+		if step.Sync != nil {
+			step.Sync()
+		}
+		if step.Fail != nil {
+			return fmt.Errorf("%w: step %s: %w", ErrClientAbort, childID, step.Fail)
+		}
+		switch {
+		case step.Op != nil && step.Invoke != nil:
+			return fmt.Errorf("sched: step %s has both Op and Invoke", childID)
+		case step.Op != nil:
+			if !dc.hasStore {
+				return fmt.Errorf("sched: component %q has no store for %s", dc.name, step.Op)
+			}
+			if err := c.leafOp(a, dc, node, childID, *step.Op); err != nil {
+				return err
+			}
+		case step.Invoke != nil:
+			if err := c.invoke(a, dc, node, childID, *step.Invoke); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sched: empty step %s", childID)
+		}
+	}
+	return nil
+}
+
+// leafOp sends one store operation to its participant and stamps the
+// event when the reply (the grant) arrives.
+func (c *Coordinator) leafOp(a *dattempt, dc *dcomp, parent, id model.NodeID, op data.Op) error {
+	rep, err := c.call(dc.name, comm.Message{
+		Kind: comm.KindApply, Txn: a.txn, Attempt: a.attempt, TS: a.ts,
+		Node: string(id), Item: op.Item, Mode: string(op.Mode), Impl: string(op.Impl),
+		Arg: op.Arg, Wait: int64(c.lockWait),
+	})
+	a.touched[dc.name] = true
+	if err != nil {
+		return fmt.Errorf("sched: apply %s at %s: %w", op, id, err)
+	}
+	if !rep.OK {
+		return fmt.Errorf("sched: apply %s at %s: %w", op, id, replyErr(dc.name, rep))
+	}
+	seq := c.tick()
+	if op.Physical() == data.ModeRead {
+		a.values = append(a.values, rep.Value)
+	}
+	a.stage.declareNode(nodeDecl{id: id, parent: parent})
+	a.stage.addEvent(event{seq: seq, comp: dc.name, op: id, parentTx: parent, item: op.Item, mode: op.Mode})
+	return nil
+}
+
+// invoke grants the semantic lock at the caller's participant (nested
+// protocols only; Global2PL and NoCC take no component-level locks) and
+// recurses into the child component's steps.
+func (c *Coordinator) invoke(a *dattempt, caller *dcomp, parent, id model.NodeID, inv Invocation) error {
+	child := c.comps[inv.Component]
+	if child == nil {
+		return fmt.Errorf("sched: unknown component %q", inv.Component)
+	}
+	if child == caller {
+		return fmt.Errorf("sched: component %q invoking itself (recursion is not allowed)", caller.name)
+	}
+	semItem := inv.Component + "/" + inv.Item
+
+	var seq uint64
+	switch c.protocol {
+	case Global2PL, NoCC:
+		// No component-level locks; the event is sequenced at completion,
+		// where leaf-lock strictness (Global2PL) makes the order
+		// consistent with the leaf serialization.
+	default:
+		rep, err := c.call(caller.name, comm.Message{
+			Kind: comm.KindLock, Txn: a.txn, Attempt: a.attempt, TS: a.ts,
+			Node: string(id), Item: semItem, Mode: string(inv.Mode), Wait: int64(c.lockWait),
+		})
+		a.touched[caller.name] = true
+		if err != nil {
+			return fmt.Errorf("sched: invoke %s at %s: %w", semItem, id, err)
+		}
+		if !rep.OK {
+			return fmt.Errorf("sched: invoke %s at %s: %w", semItem, id, replyErr(caller.name, rep))
+		}
+		seq = c.tick()
+	}
+
+	if err := c.exec(a, id, inv); err != nil {
+		return err
+	}
+	if seq == 0 {
+		seq = c.tick()
+	}
+	a.stage.declareNode(nodeDecl{id: id, parent: parent, sched: inv.Component})
+	a.stage.addEvent(event{seq: seq, comp: caller.name, op: id, parentTx: parent, item: semItem, mode: inv.Mode})
+	return nil
+}
+
+// abortAttempt tears a failed attempt down at every touched participant.
+// Best-effort: an unreachable participant's sweeper abandons the attempt
+// on its own once it idles past AbandonAfter.
+func (c *Coordinator) abortAttempt(a *dattempt) {
+	var wg sync.WaitGroup
+	for part := range a.touched {
+		wg.Add(1)
+		go func(part string) {
+			defer wg.Done()
+			c.call(part, comm.Message{Kind: comm.KindAbort, Txn: a.txn, Attempt: a.attempt})
+		}(part)
+	}
+	wg.Wait()
+}
+
+// commit2PC drives presumed-abort two-phase commit for a fully executed
+// attempt: collect votes, force the decision (with the staged execution
+// record in the same batch), fan the decision out, and retire the
+// transaction with a non-forced TypeEnd once every participant acked.
+func (c *Coordinator) commit2PC(a *dattempt) error {
+	parts := make([]string, 0, len(a.touched))
+	for p := range a.touched {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+
+	// Phase one. Votes are collected in parallel; any no-vote or vote
+	// timeout turns the decision into the (unlogged, presumed) abort.
+	var abortCause error
+	if len(parts) > 0 {
+		type vres struct {
+			part string
+			rep  comm.Message
+			err  error
+		}
+		ch := make(chan vres, len(parts))
+		for _, part := range parts {
+			go func(part string) {
+				rep, err := c.call(part, comm.Message{Kind: comm.KindPrepare, Txn: a.txn, Attempt: a.attempt, TS: a.ts})
+				ch <- vres{part, rep, err}
+			}(part)
+		}
+		for range parts {
+			v := <-ch
+			if v.err != nil {
+				if errors.Is(v.err, ErrCrashed) {
+					abortCause = ErrCrashed
+				} else if abortCause == nil {
+					abortCause = fmt.Errorf("sched: prepare at %s: %w", v.part, v.err)
+				}
+			} else if !v.rep.OK && abortCause == nil {
+				abortCause = fmt.Errorf("sched: vote no: %w", replyErr(v.part, v.rep))
+			}
+		}
+	}
+	if errors.Is(abortCause, ErrCrashed) {
+		return ErrCrashed
+	}
+	if abortCause != nil {
+		c.setInflight(a.txn, false)
+		c.fanDecide(a.txn, a.attempt, parts, false, nil)
+		return abortCause
+	}
+
+	// Crash site: unanimous yes votes, decision not yet durable. Every
+	// participant is prepared and in doubt; recovery presumes abort.
+	if c.crash.fire(DistCrashCoordPre, "", a.txn) {
+		c.crashNow()
+		return ErrCrashed
+	}
+
+	// Force the commit decision. The staged record rides in the same
+	// contiguous batch, so a durable decision implies a durable record of
+	// what committed; the participant list in the decision's Meta is what
+	// recovery re-delivers to.
+	partsJSON, _ := json.Marshal(parts)
+	recs := make([]wal.Record, 0, len(a.stage.nodes)+len(a.stage.events)+1)
+	for _, n := range a.stage.nodes {
+		recs = append(recs, wal.Record{
+			Type: wal.TypeNode, Txn: a.txn,
+			Node: string(n.id), Parent: string(n.parent), Sched: n.sched,
+		})
+	}
+	for _, e := range a.stage.events {
+		recs = append(recs, wal.Record{
+			Type: wal.TypeEvent, Txn: a.txn,
+			Node: string(e.op), Parent: string(e.parentTx),
+			Comp: e.comp, Item: e.item, Mode: string(e.mode), Seq: e.seq,
+		})
+	}
+	recs = append(recs, wal.Record{
+		Type: wal.TypeDecision, Txn: a.txn, Mode: "commit",
+		Node: attemptStr(a.attempt), Seq: a.ts, Meta: partsJSON,
+	})
+	if err := c.forceBatch(recs); err != nil {
+		return err
+	}
+
+	ct := &coTxn{parts: parts, pending: map[string]bool{}}
+	for _, p := range parts {
+		ct.pending[p] = true
+	}
+	c.mu.Lock()
+	c.committed[a.txn] = ct
+	delete(c.inflight, a.txn)
+	c.rec.merge(a.stage)
+	c.mu.Unlock()
+	c.commits.Add(1)
+
+	// Crash site: the decision is durable but no participant knows it.
+	// Recovery must re-deliver from the log alone.
+	if c.crash.fire(DistCrashCoordPost, "", a.txn) {
+		c.crashNow()
+		return ErrCrashed
+	}
+
+	// Phase two. Undelivered decisions stay pending; the re-delivery loop
+	// (and participant queries) finish them.
+	c.fanDecide(a.txn, a.attempt, parts, true, ct)
+	return nil
+}
+
+// fanDecide sends the decision to every participant in parallel. For
+// commits, acked participants are cleared from ct.pending and a fully
+// acked transaction is retired with TypeEnd.
+func (c *Coordinator) fanDecide(txn string, attempt uint32, parts []string, commit bool, ct *coTxn) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	acked := map[string]bool{}
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part string) {
+			defer wg.Done()
+			rep, err := c.call(part, comm.Message{Kind: comm.KindDecide, Txn: txn, Attempt: attempt, Commit: commit})
+			if err == nil && rep.OK {
+				mu.Lock()
+				acked[part] = true
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	if ct == nil {
+		return
+	}
+	c.mu.Lock()
+	for part := range acked {
+		delete(ct.pending, part)
+	}
+	done := len(ct.pending) == 0 && !ct.ended
+	if done {
+		ct.ended = true
+	}
+	c.mu.Unlock()
+	if done {
+		c.journal(wal.Record{Type: wal.TypeEnd, Txn: txn})
+	}
+}
+
+// redeliverLoop re-sends committed decisions that miss acks — the
+// recovery path for participant crashes and lost Decides. Presumed-abort
+// needs no counterpart for aborts.
+func (c *Coordinator) redeliverLoop(every time.Duration) {
+	defer c.bg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		type item struct {
+			txn   string
+			parts []string
+		}
+		var work []item
+		c.mu.Lock()
+		for txn, ct := range c.committed {
+			if !ct.ended {
+				parts := make([]string, 0, len(ct.pending))
+				for p := range ct.pending {
+					parts = append(parts, p)
+				}
+				work = append(work, item{txn, parts})
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range work {
+			c.mu.Lock()
+			ct := c.committed[w.txn]
+			c.mu.Unlock()
+			c.redelivers.Add(1)
+			c.fanDecide(w.txn, 0, w.parts, true, ct)
+		}
+	}
+}
+
+// unended counts committed transactions still awaiting acks.
+func (c *Coordinator) unended() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ct := range c.committed {
+		if !ct.ended {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) journal(rec wal.Record) (uint64, error) {
+	if c.wal == nil {
+		return 0, nil
+	}
+	lsn, err := c.wal.Append(rec)
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return 0, ErrCrashed
+		}
+		return 0, err
+	}
+	return lsn, nil
+}
+
+func (c *Coordinator) forceBatch(recs []wal.Record) error {
+	if c.wal == nil {
+		return nil
+	}
+	if _, err := c.wal.AppendBatch(recs); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrCrashed
+		}
+		return err
+	}
+	if err := c.wal.Sync(); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrCrashed
+		}
+		return err
+	}
+	return nil
+}
+
+// RecordedSystem assembles the committed distributed execution for the
+// Comp-C checker, through the same assembly as the single-process
+// runtime.
+func (c *Coordinator) RecordedSystem() *model.System {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return assembleSystem(c.rec, func(comp string) *data.ModeTable {
+		if dc := c.comps[comp]; dc != nil {
+			return dc.modes
+		}
+		return data.SemanticTable()
+	})
+}

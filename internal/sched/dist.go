@@ -1,0 +1,808 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"compositetx/internal/comm"
+	"compositetx/internal/data"
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+	"compositetx/internal/wal"
+)
+
+// DistConfig configures a distributed cluster: one coordinator plus one
+// participant per component of the topology, wired over a message
+// transport.
+type DistConfig struct {
+	Protocol Protocol
+	Topo     *Topology
+
+	// Net supplies the transport. Nil picks by Transport: "tcp" builds a
+	// loopback socket network, anything else an in-process channel
+	// network.
+	Net       comm.Network
+	Transport string
+
+	// NetFaults, when enabled, wraps the transport in the seeded fault
+	// injector (drop, duplicate, delay, reorder, one-way partition).
+	NetFaults comm.NetFaultPlan
+
+	// WALRoot is the durability root: the coordinator logs under
+	// <WALRoot>/coord, each store-bearing participant under
+	// <WALRoot>/part-<name>. Empty runs the cluster volatile.
+	WALRoot   string
+	SyncEvery int
+
+	// RPC policy: per-attempt deadline and capped-backoff retry budget
+	// for every message the coordinator or a participant sends.
+	RPCTimeout time.Duration // default 25ms
+	RPCRetries int           // default 4
+
+	// LockWait bounds a participant-side lock wait per request (default
+	// 150ms); the RPC layer keeps re-sending (same correlation ID, so the
+	// wait is never duplicated) while the participant blocks.
+	LockWait time.Duration
+
+	// MaxRetries bounds a root's abort-retry rounds (default 40).
+	MaxRetries int
+	// MaxActive throttles root admission with ErrOverload (0 = off).
+	MaxActive int
+
+	// Participant liveness: an unprepared attempt idle past AbandonAfter
+	// is aborted unilaterally (default 400ms); a prepared one idle past
+	// QueryAfter runs the termination protocol (default 250ms); the
+	// sweeper wakes every SweepEvery (default 50ms).
+	AbandonAfter time.Duration
+	QueryAfter   time.Duration
+	SweepEvery   time.Duration
+
+	// Seeds preloads participant stores (component -> item -> value),
+	// journaled as TypeSeed when a WAL is attached.
+	Seeds map[string]map[string]int64
+}
+
+func (cfg DistConfig) normalized() DistConfig {
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 25 * time.Millisecond
+	}
+	if cfg.RPCRetries <= 0 {
+		cfg.RPCRetries = 4
+	}
+	if cfg.LockWait <= 0 {
+		cfg.LockWait = 150 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 40
+	}
+	if cfg.AbandonAfter <= 0 {
+		cfg.AbandonAfter = 400 * time.Millisecond
+	}
+	if cfg.QueryAfter <= 0 {
+		cfg.QueryAfter = 250 * time.Millisecond
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 50 * time.Millisecond
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 1
+	}
+	return cfg
+}
+
+// partMeta is the TypeMeta payload of a participant log.
+type partMeta struct {
+	Version int    `json:"version"`
+	Part    string `json:"part"`
+}
+
+func coordDir(root string) string           { return filepath.Join(root, "coord") }
+func partDir(root, name string) string      { return filepath.Join(root, "part-"+name) }
+func parseAttempt(node string) uint32 {
+	n, _ := strconv.Atoi(strings.TrimPrefix(node, "attempt-"))
+	return uint32(n)
+}
+
+// DistMetrics is a cluster-wide counter snapshot.
+type DistMetrics struct {
+	Commits    int64 // transactions durably decided commit
+	Retries    int64 // abort-retry rounds across all roots
+	Redelivers int64 // decision re-delivery rounds
+	Unilateral int64 // participant abandon-aborts of idle unprepared attempts
+	Queries    int64 // termination-protocol queries sent by participants
+	Resolved   int64 // in-doubt transactions resolved by query
+	InDoubt    int64 // currently prepared, undecided (should settle to 0)
+	Net        comm.NetStats
+}
+
+func (m DistMetrics) String() string {
+	return fmt.Sprintf("commits=%d retries=%d redelivers=%d unilateral=%d queries=%d resolved=%d in-doubt=%d net[sent=%d drop=%d dup=%d delay=%d reorder=%d part=%d]",
+		m.Commits, m.Retries, m.Redelivers, m.Unilateral, m.Queries, m.Resolved, m.InDoubt,
+		m.Net.Sent, m.Net.Dropped, m.Net.Duplicated, m.Net.Delayed, m.Net.Reordered, m.Net.Partitions)
+}
+
+// Cluster is a running distributed composite: the coordinator, one
+// participant per component, and the shared transport. Crash and recover
+// either side through its methods; Settle waits for the in-doubt set to
+// drain; Audit re-verifies the committed history.
+type Cluster struct {
+	cfg    DistConfig
+	topo   *Topology
+	base   comm.Network
+	faults *comm.FaultNetwork
+	net    comm.Network
+	crash  *distCrashState
+
+	mu    sync.Mutex
+	coord *Coordinator
+	parts map[string]*Participant
+}
+
+// StartCluster builds and starts a fresh cluster.
+func StartCluster(cfg DistConfig) (*Cluster, error) {
+	cfg = cfg.normalized()
+	if cfg.Topo == nil || len(cfg.Topo.Specs) == 0 {
+		return nil, errors.New("sched: distributed cluster needs a topology")
+	}
+	for _, spec := range cfg.Topo.Specs {
+		if spec.Name == coordName {
+			return nil, fmt.Errorf("sched: component name %q is reserved for the coordinator", coordName)
+		}
+	}
+	cl := &Cluster{cfg: cfg, topo: cfg.Topo, crash: &distCrashState{}, parts: map[string]*Participant{}}
+	cl.base = cfg.Net
+	if cl.base == nil {
+		if cfg.Transport == "tcp" {
+			cl.base = comm.NewTCPNetwork()
+		} else {
+			cl.base = comm.NewChanNetwork()
+		}
+	}
+	cl.net = cl.base
+	if cfg.NetFaults.Enabled() {
+		cl.faults = comm.NewFaultNetwork(cl.base, cfg.NetFaults)
+		cl.net = cl.faults
+	}
+
+	for _, spec := range cfg.Topo.Specs {
+		p := newParticipant(spec.Name, spec, cfg, cl.crash)
+		if p.store != nil {
+			for item, v := range cfg.Seeds[spec.Name] {
+				p.store.Set(item, v)
+			}
+			if cfg.WALRoot != "" {
+				if err := cl.enablePartWAL(p); err != nil {
+					cl.Close()
+					return nil, err
+				}
+			}
+		}
+		ep, err := cl.net.Endpoint(spec.Name)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		p.connect(ep)
+		p.start()
+		cl.parts[spec.Name] = p
+	}
+
+	coord := newCoordinator(cfg, cfg.Topo, cl.crash)
+	if cfg.WALRoot != "" {
+		if err := cl.enableCoordWAL(coord); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	ep, err := cl.net.Endpoint(coordName)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	coord.connect(ep)
+	coord.start(cfg.QueryAfter)
+	cl.coord = coord
+	return cl, nil
+}
+
+// enablePartWAL attaches a fresh log to a store-bearing participant:
+// metadata plus one seed record per preloaded item, fsynced.
+func (cl *Cluster) enablePartWAL(p *Participant) error {
+	dir := partDir(cl.cfg.WALRoot, p.name)
+	l, existing, err := wal.Open(dir, wal.Options{SyncEvery: cl.cfg.SyncEvery})
+	if err != nil {
+		return err
+	}
+	if existing != 0 {
+		l.Close()
+		return fmt.Errorf("sched: participant %s: %w", p.name, ErrWALExists)
+	}
+	meta, _ := json.Marshal(partMeta{Version: 1, Part: p.name})
+	recs := []wal.Record{{Type: wal.TypeMeta, Meta: meta}}
+	snap := p.store.Snapshot()
+	items := make([]string, 0, len(snap))
+	for item := range snap {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	for _, item := range items {
+		recs = append(recs, wal.Record{Type: wal.TypeSeed, Comp: p.name, Item: item, Prev: snap[item]})
+	}
+	if _, err := l.AppendBatch(recs); err != nil {
+		l.Close()
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		l.Close()
+		return err
+	}
+	p.wal = l
+	return nil
+}
+
+// enableCoordWAL attaches a fresh decision log to the coordinator.
+func (cl *Cluster) enableCoordWAL(c *Coordinator) error {
+	dir := coordDir(cl.cfg.WALRoot)
+	l, existing, err := wal.Open(dir, wal.Options{SyncEvery: cl.cfg.SyncEvery})
+	if err != nil {
+		return err
+	}
+	if existing != 0 {
+		l.Close()
+		return fmt.Errorf("sched: coordinator: %w", ErrWALExists)
+	}
+	meta, err := json.Marshal(walMeta{
+		Version: 1, Protocol: cl.cfg.Protocol.String(),
+		Topology: topologyToDoc(cl.topo), Dist: true,
+	})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	if _, err := l.Append(wal.Record{Type: wal.TypeMeta, Meta: meta}); err != nil {
+		l.Close()
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		l.Close()
+		return err
+	}
+	c.wal = l
+	return nil
+}
+
+// Submit runs one root transaction through the coordinator.
+func (cl *Cluster) Submit(name string, root Invocation) (*TxResult, error) {
+	return cl.coordinator().Submit(name, root)
+}
+
+func (cl *Cluster) coordinator() *Coordinator {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.coord
+}
+
+func (cl *Cluster) participant(name string) *Participant {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.parts[name]
+}
+
+// SetCrash arms one crash-site injection (fires at most once).
+func (cl *Cluster) SetCrash(d DistCrash) { cl.crash.arm(d) }
+
+// CoordinatorCrashed reports whether the coordinator is currently down.
+func (cl *Cluster) CoordinatorCrashed() bool {
+	c := cl.coordinator()
+	return c == nil || c.crashed.Load()
+}
+
+// CrashedParticipants lists the participants currently down, sorted.
+// Callers watching for participant crash faults poll this and call
+// RecoverParticipant — a dead participant only surfaces to clients as
+// RPC timeouts, never as ErrCrashed.
+func (cl *Cluster) CrashedParticipants() []string {
+	cl.mu.Lock()
+	var out []string
+	for name, p := range cl.parts {
+		if p.crashed.Load() {
+			out = append(out, name)
+		}
+	}
+	cl.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// CrashCoordinator simulates a coordinator crash now.
+func (cl *Cluster) CrashCoordinator() { cl.coordinator().crashNow() }
+
+// CrashParticipant simulates a participant crash now.
+func (cl *Cluster) CrashParticipant(name string) error {
+	p := cl.participant(name)
+	if p == nil {
+		return fmt.Errorf("sched: unknown participant %q", name)
+	}
+	p.crashNow()
+	return nil
+}
+
+// RecoverParticipant rebuilds a crashed participant from its log:
+// baseline seeds, redo of every journaled apply and compensation in log
+// order, undo (with fresh journaled compensations) of loser
+// transactions, and re-registration of in-doubt transactions — prepared
+// but undecided — whose locks are re-acquired at their original wait-die
+// timestamps and whose outcomes the termination protocol resolves.
+func (cl *Cluster) RecoverParticipant(name string) error {
+	var spec ComponentSpec
+	found := false
+	for _, s := range cl.topo.Specs {
+		if s.Name == name {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("sched: unknown participant %q", name)
+	}
+	old := cl.participant(name)
+	if old != nil && !old.crashed.Load() {
+		return fmt.Errorf("sched: participant %q has not crashed", name)
+	}
+
+	p := newParticipant(name, spec, cl.cfg, cl.crash)
+	if p.store != nil && cl.cfg.WALRoot != "" {
+		if err := cl.rebuildParticipant(p); err != nil {
+			return err
+		}
+	}
+	ep, err := cl.net.Endpoint(name)
+	if err != nil {
+		return err
+	}
+	p.connect(ep)
+	p.start()
+	cl.mu.Lock()
+	cl.parts[name] = p
+	cl.mu.Unlock()
+	return nil
+}
+
+func (cl *Cluster) rebuildParticipant(p *Participant) error {
+	dir := partDir(cl.cfg.WALRoot, p.name)
+	recs, info, err := wal.ReadAll(dir)
+	if err != nil {
+		return err
+	}
+
+	// Analysis. Prepared state is last-wins per transaction: a decision
+	// (or a fresh prepare of a later attempt) supersedes earlier marks.
+	type pstate struct {
+		attempt uint32
+		ts      uint64
+	}
+	type applyRec struct {
+		lsn uint64
+		rec wal.Record
+	}
+	var (
+		applies     []applyRec
+		seeds       []wal.Record
+		cancelled   = map[uint64]bool{}
+		compensated = map[uint64]bool{}
+		prepared    = map[string]pstate{}
+		committed   = map[string]bool{}
+		abortedAt   = map[string]uint32{}
+	)
+	for i, rec := range recs {
+		lsn := info.FirstLSN + uint64(i)
+		switch rec.Type {
+		case wal.TypeSeed:
+			seeds = append(seeds, rec)
+		case wal.TypeApply:
+			applies = append(applies, applyRec{lsn, rec})
+		case wal.TypeApplyFail:
+			cancelled[rec.Ref] = true
+		case wal.TypeComp:
+			compensated[rec.Ref] = true
+		case wal.TypePrepare:
+			prepared[rec.Txn] = pstate{attempt: parseAttempt(rec.Node), ts: rec.Seq}
+		case wal.TypeDecision:
+			if rec.Mode == "commit" {
+				committed[rec.Txn] = true
+			} else if at := parseAttempt(rec.Node); at > abortedAt[rec.Txn] {
+				abortedAt[rec.Txn] = at
+			}
+			delete(prepared, rec.Txn)
+		}
+	}
+
+	// Redo: seeds, then every surviving apply and compensation in log
+	// order — compensated applies net out, whatever the crash interleaved.
+	for _, rec := range seeds {
+		p.store.Set(rec.Item, rec.Prev)
+	}
+	for _, a := range applies {
+		if cancelled[a.lsn] {
+			continue
+		}
+		if _, err := p.store.Apply(opOf(a.rec)); err != nil {
+			return fmt.Errorf("sched: participant %s redo of record %d: %w", p.name, a.lsn, err)
+		}
+	}
+	for _, rec := range recs {
+		if rec.Type == wal.TypeComp {
+			if _, err := p.store.Apply(opOf(rec)); err != nil {
+				return fmt.Errorf("sched: participant %s redo of compensation: %w", p.name, err)
+			}
+		}
+	}
+
+	// Reopen for appending before the undo pass journals its CLRs.
+	log, _, err := wal.Open(dir, wal.Options{SyncEvery: cl.cfg.SyncEvery})
+	if err != nil {
+		return err
+	}
+	p.wal = log
+
+	// Undo: un-compensated applies of transactions with no durable
+	// outcome and no prepare — they can never commit (a commit decision
+	// requires this participant's durable prepare), so presumed abort
+	// applies. In-doubt transactions keep their effects.
+	inDoubtUndo := map[string][]pundo{}
+	for i := len(applies) - 1; i >= 0; i-- {
+		lsn, rec := applies[i].lsn, applies[i].rec
+		if cancelled[lsn] || compensated[lsn] || committed[rec.Txn] {
+			continue
+		}
+		if _, ok := prepared[rec.Txn]; ok {
+			// Rebuild the in-doubt transaction's undo log (in log order)
+			// so a later abort decision can still compensate it.
+			op := opOf(rec)
+			undo := inDoubtUndo[rec.Txn]
+			inDoubtUndo[rec.Txn] = append([]pundo{{op: op, res: data.Result{Prev: rec.Prev}, lsn: lsn}}, undo...)
+			continue
+		}
+		inv, ok := data.Inverse(opOf(rec), data.Result{Prev: rec.Prev})
+		if !ok {
+			continue
+		}
+		if _, err := log.Append(wal.Record{
+			Type: wal.TypeComp, Txn: rec.Txn, Comp: p.name,
+			Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
+			Arg: inv.Arg, Ref: lsn,
+		}); err != nil {
+			return err
+		}
+		if _, err := p.store.Apply(inv); err != nil {
+			return fmt.Errorf("sched: participant %s undo of record %d: %w", p.name, lsn, err)
+		}
+	}
+
+	// Register in-doubt transactions: prepared, effects intact, locks
+	// re-acquired at the original timestamps, outcome owed by the
+	// coordinator (the sweeper's termination protocol collects it).
+	for txn, st := range prepared {
+		tx := &ptxn{
+			attempt:   st.attempt,
+			ts:        st.ts,
+			steps:     map[string]*pdedup{},
+			undo:      inDoubtUndo[txn],
+			prepared:  true,
+			lastTouch: time.Now(),
+		}
+		for _, u := range tx.undo {
+			table, mode := p.modes, u.op.Mode
+			switch p.protocol {
+			case Global2PL:
+				table, mode = p.rwTable, data.ModeWrite
+			case NoCC:
+				table = nil
+			}
+			if table != nil {
+				deadline := time.Now().Add(cl.cfg.LockWait)
+				if err := p.lm.acquireUntil(table, u.op.Item, mode, txn, st.ts, WaitDie, nil, deadline); err != nil {
+					return fmt.Errorf("sched: participant %s re-acquiring %s for in-doubt %s: %w", p.name, u.op.Item, txn, err)
+				}
+			}
+		}
+		p.txns[txn] = tx
+	}
+	for txn := range committed {
+		p.resolved[txn] = true
+	}
+	for txn, at := range abortedAt {
+		if at > p.aborted[txn] {
+			p.aborted[txn] = at
+		}
+	}
+	return nil
+}
+
+// RecoverCoordinator rebuilds a crashed coordinator from its decision
+// log: the committed projection (nodes, events) for re-verification, the
+// commit set for the termination protocol, and re-delivery of every
+// decision without a TypeEnd. Aborts are presumed — anything not durably
+// committed answers "abort" to queries. The timestamp source jumps an
+// epoch so fresh transactions can never collide with in-doubt locks held
+// under pre-crash timestamps.
+func (cl *Cluster) RecoverCoordinator() error {
+	old := cl.coordinator()
+	if old != nil && !old.crashed.Load() {
+		return errors.New("sched: coordinator has not crashed")
+	}
+	if cl.cfg.WALRoot == "" {
+		return errors.New("sched: volatile coordinator cannot recover")
+	}
+	dir := coordDir(cl.cfg.WALRoot)
+	recs, _, err := wal.ReadAll(dir)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 || recs[0].Type != wal.TypeMeta {
+		return errors.New("sched: coordinator log has no metadata record")
+	}
+	var meta walMeta
+	if err := json.Unmarshal(recs[0].Meta, &meta); err != nil {
+		return fmt.Errorf("sched: coordinator metadata: %w", err)
+	}
+	if !meta.Dist {
+		return errors.New("sched: log is not a distributed coordinator log (use Recover)")
+	}
+	proto, err := ParseProtocol(meta.Protocol)
+	if err != nil {
+		return err
+	}
+	topo, err := topologyFromDoc(meta.Topology, false)
+	if err != nil {
+		return err
+	}
+	cfg := cl.cfg
+	cfg.Protocol = proto
+
+	c := newCoordinator(cfg, topo, cl.crash)
+	var maxSeq, maxTS uint64
+	staged := map[string]*stagedRecord{}
+	stagedOf := func(txn string) *stagedRecord {
+		if staged[txn] == nil {
+			staged[txn] = newStagedRecord()
+		}
+		return staged[txn]
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeNode:
+			stagedOf(rec.Txn).declareNode(nodeDecl{
+				id: model.NodeID(rec.Node), parent: model.NodeID(rec.Parent), sched: rec.Sched,
+			})
+		case wal.TypeEvent:
+			stagedOf(rec.Txn).addEvent(event{
+				seq: rec.Seq, comp: rec.Comp, op: model.NodeID(rec.Node),
+				parentTx: model.NodeID(rec.Parent), item: rec.Item, mode: data.Mode(rec.Mode),
+			})
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		case wal.TypeDecision:
+			if rec.Mode != "commit" {
+				continue
+			}
+			var parts []string
+			json.Unmarshal(rec.Meta, &parts)
+			ct := &coTxn{parts: parts, pending: map[string]bool{}}
+			for _, p := range parts {
+				ct.pending[p] = true
+			}
+			c.committed[rec.Txn] = ct
+			c.rec.merge(stagedOf(rec.Txn))
+			delete(staged, rec.Txn)
+			if rec.Seq > maxTS {
+				maxTS = rec.Seq
+			}
+		case wal.TypeEnd:
+			if ct := c.committed[rec.Txn]; ct != nil {
+				ct.ended = true
+				ct.pending = map[string]bool{}
+			}
+		}
+	}
+	c.clock.Store(maxSeq)
+	c.tsc.Store(maxTS + 1<<32)
+
+	log, _, err := wal.Open(dir, wal.Options{SyncEvery: cl.cfg.SyncEvery})
+	if err != nil {
+		return err
+	}
+	c.wal = log
+	ep, err := cl.net.Endpoint(coordName)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	c.connect(ep)
+	c.start(cl.cfg.QueryAfter)
+	cl.mu.Lock()
+	cl.coord = c
+	cl.mu.Unlock()
+	return nil
+}
+
+// RecoverCluster rebuilds a whole cluster from its durability root in a
+// fresh process — the cross-process analogue of Recover for distributed
+// runs. Protocol and topology come from the coordinator log's metadata;
+// every store-bearing participant is rebuilt from its own log
+// (in-doubt transactions re-registered with their locks); the recovered
+// coordinator then re-delivers forced decisions and answers termination
+// queries, so a Settle call drains the in-doubt set. cfg needs WALRoot
+// plus any transport/RPC policy overrides; Protocol, Topo and Seeds are
+// ignored (the logs are authoritative).
+func RecoverCluster(cfg DistConfig) (*Cluster, error) {
+	cfg = cfg.normalized()
+	if cfg.WALRoot == "" {
+		return nil, errors.New("sched: RecoverCluster needs a WAL root")
+	}
+	recs, _, err := wal.ReadAll(coordDir(cfg.WALRoot))
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 || recs[0].Type != wal.TypeMeta {
+		return nil, errors.New("sched: coordinator log has no metadata record")
+	}
+	var meta walMeta
+	if err := json.Unmarshal(recs[0].Meta, &meta); err != nil {
+		return nil, fmt.Errorf("sched: coordinator metadata: %w", err)
+	}
+	if !meta.Dist {
+		return nil, fmt.Errorf("sched: %q is not a distributed log root (use Recover)", cfg.WALRoot)
+	}
+	proto, err := ParseProtocol(meta.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topologyFromDoc(meta.Topology, false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Protocol, cfg.Topo, cfg.Seeds = proto, topo, nil
+
+	cl := &Cluster{cfg: cfg, topo: topo, crash: &distCrashState{}, parts: map[string]*Participant{}}
+	cl.base = cfg.Net
+	if cl.base == nil {
+		if cfg.Transport == "tcp" {
+			cl.base = comm.NewTCPNetwork()
+		} else {
+			cl.base = comm.NewChanNetwork()
+		}
+	}
+	cl.net = cl.base
+	if cfg.NetFaults.Enabled() {
+		cl.faults = comm.NewFaultNetwork(cl.base, cfg.NetFaults)
+		cl.net = cl.faults
+	}
+	for _, spec := range topo.Specs {
+		if err := cl.RecoverParticipant(spec.Name); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	if err := cl.RecoverCoordinator(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Settle waits until no transaction is in doubt anywhere: every
+// committed decision acked by every participant, every prepared
+// participant transaction resolved. The re-delivery loop and the
+// termination protocol do the work; Settle just watches.
+func (cl *Cluster) Settle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := cl.coordinator().unended()
+		doubt := 0
+		cl.mu.Lock()
+		parts := make([]*Participant, 0, len(cl.parts))
+		for _, p := range cl.parts {
+			parts = append(parts, p)
+		}
+		cl.mu.Unlock()
+		for _, p := range parts {
+			if !p.crashed.Load() {
+				doubt += p.inDoubt()
+			}
+		}
+		if pending == 0 && doubt == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sched: cluster did not settle: %d unacked decisions, %d in-doubt participant transactions", pending, doubt)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// RecordedSystem assembles the committed execution for the checker.
+func (cl *Cluster) RecordedSystem() *model.System { return cl.coordinator().RecordedSystem() }
+
+// Audit re-verifies the committed history against the Comp-C criterion.
+func (cl *Cluster) Audit() (*front.Verdict, error) {
+	sys := cl.RecordedSystem()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return front.Check(sys, front.Options{})
+}
+
+// StoreSnapshot returns a copy of one participant's store state.
+func (cl *Cluster) StoreSnapshot(name string) map[string]int64 {
+	p := cl.participant(name)
+	if p == nil || p.store == nil {
+		return nil
+	}
+	return p.store.Snapshot()
+}
+
+// Metrics snapshots cluster-wide counters.
+func (cl *Cluster) Metrics() DistMetrics {
+	m := DistMetrics{}
+	if c := cl.coordinator(); c != nil {
+		m.Commits = c.commits.Load()
+		m.Retries = c.abortRetry.Load()
+		m.Redelivers = c.redelivers.Load()
+	}
+	cl.mu.Lock()
+	parts := make([]*Participant, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		parts = append(parts, p)
+	}
+	cl.mu.Unlock()
+	for _, p := range parts {
+		m.Unilateral += p.unilats.Load()
+		m.Queries += p.queries.Load()
+		m.Resolved += p.resolves.Load()
+		if !p.crashed.Load() {
+			m.InDoubt += int64(p.inDoubt())
+		}
+	}
+	if cl.faults != nil {
+		m.Net = cl.faults.Stats()
+	}
+	return m
+}
+
+// NetStats returns the fault injector's traffic counters (zero without
+// injection).
+func (cl *Cluster) NetStats() comm.NetStats {
+	if cl.faults == nil {
+		return comm.NetStats{}
+	}
+	return cl.faults.Stats()
+}
+
+// Close shuts the whole cluster down cleanly.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	coord := cl.coord
+	parts := make([]*Participant, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		parts = append(parts, p)
+	}
+	cl.mu.Unlock()
+	if coord != nil {
+		coord.close()
+	}
+	for _, p := range parts {
+		p.close()
+	}
+	if cl.net != nil {
+		return cl.net.Close()
+	}
+	return nil
+}

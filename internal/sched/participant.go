@@ -1,0 +1,790 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compositetx/internal/comm"
+	"compositetx/internal/data"
+	"compositetx/internal/wal"
+)
+
+// The distributed runtime splits the scheduler into a root Coordinator
+// and one Participant per component, communicating over a comm.Network.
+// Every root transaction commits through presumed-abort two-phase commit:
+// the coordinator drives Apply/Lock traffic during execution, then
+// Prepare -> Vote -> Decide -> Ack. Participants force a TypePrepare
+// record before voting yes and a TypeDecision record before acking, so a
+// prepared transaction survives any single crash; the coordinator force-
+// logs only commit decisions (absence of a decision means abort).
+
+// Reply codes carried in Message.Code. Zero (with OK set) is success; the
+// coordinator maps the rest back onto the runtime's sentinel errors with
+// %w so errors.Is works through the RPC layer.
+const (
+	dcodeOK       uint8 = iota
+	dcodeDie            // wait-die sacrifice at the participant -> ErrDie
+	dcodeTimeout        // lock-wait deadline expired -> ErrTimeout
+	dcodeCrashed        // participant is crashed -> ErrComponentDown
+	dcodeOverload       // admission refused -> ErrOverload
+	dcodeStale          // attempt tombstoned (unilateral abort or newer attempt) -> ErrTimeout
+	dcodeRetry          // query answer: transaction still voting, ask again
+	dcodeFatal          // non-retryable store error; Err carries the text
+)
+
+// Distributed crash sites (DistCrash.Site). Participant sites fire after
+// the corresponding force, before the message that would reveal it — the
+// exact windows presumed-abort 2PC must survive.
+const (
+	DistCrashCoordPre    = "coord-pre-decision"  // after unanimous yes votes, before the decision is forced
+	DistCrashCoordPost   = "coord-post-decision" // after the decision is forced, before any Decide is sent
+	DistCrashPartPrepare = "part-prepare"        // after the participant forces TypePrepare, before its vote
+	DistCrashPartDecide  = "part-decide"         // after the participant forces TypeDecision, before its ack
+)
+
+// DistCrash names one crash to inject into a distributed run: the root
+// transaction it fires on, the site, and (for participant sites) the
+// component. It fires at most once.
+type DistCrash struct {
+	Txn  string
+	Site string
+	Part string
+}
+
+// distCrashState is the shared, fire-once crash trigger.
+type distCrashState struct {
+	mu    sync.Mutex
+	armed DistCrash
+	set   bool
+	fired bool
+}
+
+func (c *distCrashState) arm(d DistCrash) {
+	c.mu.Lock()
+	c.armed, c.set, c.fired = d, true, false
+	c.mu.Unlock()
+}
+
+func (c *distCrashState) fire(site, part, txn string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.set || c.fired || c.armed.Site != site || c.armed.Txn != txn {
+		return false
+	}
+	if c.armed.Part != "" && c.armed.Part != part {
+		return false
+	}
+	c.fired = true
+	return true
+}
+
+// pdedup deduplicates one step's delivery: the first arrival executes and
+// records its reply, duplicates (RPC retries reuse the same correlation
+// ID; the fault injector clones messages outright) wait on done and
+// resend the recorded reply. This is what makes at-least-once delivery
+// look exactly-once to the store.
+type pdedup struct {
+	done  chan struct{}
+	reply comm.Message
+}
+
+// pundo is one journaled mutation of an attempt, with what Inverse needs.
+type pundo struct {
+	op  data.Op
+	res data.Result
+	lsn uint64
+}
+
+// ptxn is the participant-side state of one root transaction attempt.
+type ptxn struct {
+	attempt   uint32
+	ts        uint64 // root wait-die timestamp
+	steps     map[string]*pdedup
+	undo      []pundo
+	prepDone  chan struct{} // non-nil once a Prepare is being processed
+	vote      comm.Message  // recorded vote, valid after prepDone closes
+	prepared  bool
+	querying  bool
+	lastTouch time.Time
+}
+
+// Participant is one component's half of the distributed runtime: its
+// semantic lock manager, its store (nil for pure scheduling components),
+// its write-ahead log, and the message handlers that make duplicated and
+// reordered delivery idempotent.
+type Participant struct {
+	name     string
+	coord    string
+	protocol Protocol
+	modes    *data.ModeTable
+	rwTable  *data.ModeTable
+	store    *data.Store // nil for components without stores
+	lm       *lockManager
+	mux      *comm.Mux
+	wal      *wal.Log // nil when volatile or storeless
+	clock    atomic.Uint64
+	crashed  atomic.Bool
+	crash    *distCrashState
+
+	abandonAfter time.Duration
+	queryAfter   time.Duration
+	sweepEvery   time.Duration
+	rpcTimeout   time.Duration
+	rpcRetries   int
+
+	mu       sync.Mutex
+	txns     map[string]*ptxn
+	aborted  map[string]uint32 // txn -> highest attempt aborted (tombstones)
+	resolved map[string]bool   // txn -> terminally committed
+
+	stop     chan struct{}
+	sweeps   sync.WaitGroup
+	unilats  atomic.Int64 // unilateral abandon-aborts
+	queries  atomic.Int64 // termination-protocol queries sent
+	resolves atomic.Int64 // in-doubt transactions resolved by query
+}
+
+func newParticipant(name string, spec ComponentSpec, cfg DistConfig, crash *distCrashState) *Participant {
+	modes := spec.Modes
+	if modes == nil {
+		modes = data.SemanticTable()
+	}
+	p := &Participant{
+		name:     name,
+		coord:    coordName,
+		protocol: cfg.Protocol,
+		modes:    modes,
+		rwTable:  data.RWTable(),
+		lm:       newLockManager(),
+		crash:    crash,
+
+		abandonAfter: cfg.AbandonAfter,
+		queryAfter:   cfg.QueryAfter,
+		sweepEvery:   cfg.SweepEvery,
+		rpcTimeout:   cfg.RPCTimeout,
+		rpcRetries:   cfg.RPCRetries,
+
+		txns:     map[string]*ptxn{},
+		aborted:  map[string]uint32{},
+		resolved: map[string]bool{},
+		stop:     make(chan struct{}),
+	}
+	p.lm.crashed = &p.crashed
+	if spec.HasStore {
+		p.store = data.NewStore()
+	}
+	return p
+}
+
+// connect registers the participant on the network. Recovery rebuilds the
+// store and lock state before connecting, so no message ever observes a
+// half-rebuilt participant. p.mux is published before Start so a handler
+// replying to an immediately-delivered message (the coordinator may
+// already be retrying against a recovering node) never races the
+// assignment.
+func (p *Participant) connect(ep comm.Endpoint) {
+	p.mux = comm.NewMux(ep, p.handle)
+	p.mux.Start()
+}
+
+// start launches the background sweeper (unilateral aborts of abandoned
+// attempts, termination-protocol queries for in-doubt transactions).
+func (p *Participant) start() {
+	p.sweeps.Add(1)
+	go p.sweeper()
+}
+
+func (p *Participant) tickClock() uint64 { return p.clock.Add(1) }
+
+func (p *Participant) mergeClock(remote uint64) {
+	for {
+		cur := p.clock.Load()
+		if remote <= cur || p.clock.CompareAndSwap(cur, remote) {
+			return
+		}
+	}
+}
+
+// crashNow simulates a participant crash: the log is abandoned (its
+// unsynced tail discarded), lock waiters drain with ErrCrashed, and the
+// endpoint closes so in-flight messages to this node vanish. Recovery is
+// RecoverParticipant's job.
+func (p *Participant) crashNow() {
+	if !p.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	if p.wal != nil {
+		p.wal.Abandon(nil)
+	}
+	p.lm.wake()
+	close(p.stop)
+	p.mux.Close()
+}
+
+// close shuts the participant down cleanly (tests and cluster teardown).
+func (p *Participant) close() {
+	if p.crashed.CompareAndSwap(false, true) {
+		p.lm.wake()
+		close(p.stop)
+		p.mux.Close()
+		if p.wal != nil {
+			p.wal.Close()
+		}
+	}
+	p.sweeps.Wait()
+}
+
+// journal appends one record when a WAL is attached.
+func (p *Participant) journal(rec wal.Record) (uint64, error) {
+	if p.wal == nil {
+		return 0, nil
+	}
+	lsn, err := p.wal.Append(rec)
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return 0, ErrCrashed
+		}
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// force appends a batch and fsyncs it — the durability points of 2PC.
+func (p *Participant) force(recs []wal.Record) error {
+	if p.wal == nil {
+		return nil
+	}
+	if _, err := p.wal.AppendBatch(recs); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrCrashed
+		}
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrCrashed
+		}
+		return err
+	}
+	return nil
+}
+
+// handle dispatches one inbound request. The mux runs each delivery on
+// its own goroutine, so a handler blocking in a lock wait never prevents
+// the conflicting transaction's Decide (which releases the lock) from
+// being processed.
+func (p *Participant) handle(m comm.Message) {
+	if p.crashed.Load() {
+		return // a crashed node answers nothing
+	}
+	p.mergeClock(m.Clock)
+	switch m.Kind {
+	case comm.KindApply:
+		p.handleApply(m)
+	case comm.KindLock:
+		p.handleLock(m)
+	case comm.KindPrepare:
+		p.handlePrepare(m)
+	case comm.KindDecide:
+		p.handleDecide(m)
+	case comm.KindAbort:
+		p.handleAbort(m)
+	}
+}
+
+func (p *Participant) reply(req comm.Message, rep comm.Message) {
+	rep.Txn, rep.Attempt, rep.Node = req.Txn, req.Attempt, req.Node
+	rep.Clock = p.tickClock()
+	p.mux.Reply(req, rep)
+}
+
+// admit classifies an Apply/Lock delivery: stale (tombstoned attempt or
+// terminally resolved transaction), duplicate (the step is known — wait
+// and resend), or first delivery (a pdedup slot is registered before the
+// participant mutex drops, so every later duplicate finds it).
+func (p *Participant) admit(m comm.Message) (tx *ptxn, st *pdedup, first, stale bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.resolved[m.Txn] || m.Attempt <= p.aborted[m.Txn] {
+		return nil, nil, false, true
+	}
+	tx = p.txns[m.Txn]
+	if tx != nil && tx.attempt > m.Attempt {
+		return nil, nil, false, true
+	}
+	if tx != nil && tx.attempt < m.Attempt {
+		// The coordinator moved on to a newer attempt; its abort of the
+		// old one was lost in the network. Abort the old attempt locally —
+		// a prepared one durably (the newer attempt proves the coordinator
+		// decided against it; presumed abort never commits a superseded
+		// attempt), an unprepared one with a plain rollback.
+		if tx.prepared {
+			if err := p.decideLocked(m.Txn, tx, false); err != nil {
+				return nil, nil, false, true
+			}
+		} else {
+			p.rollbackLocked(m.Txn, tx)
+		}
+		tx = nil
+	}
+	if tx == nil {
+		tx = &ptxn{attempt: m.Attempt, ts: m.TS, steps: map[string]*pdedup{}}
+		p.txns[m.Txn] = tx
+	}
+	tx.lastTouch = time.Now()
+	if st = tx.steps[m.Node]; st != nil {
+		return tx, st, false, false
+	}
+	st = &pdedup{done: make(chan struct{})}
+	tx.steps[m.Node] = st
+	return tx, st, true, false
+}
+
+// finish records the reply for duplicates and sends it.
+func (p *Participant) finish(req comm.Message, st *pdedup, rep comm.Message) {
+	p.mu.Lock()
+	st.reply = rep
+	if tx := p.txns[req.Txn]; tx != nil {
+		tx.lastTouch = time.Now()
+	}
+	p.mu.Unlock()
+	close(st.done)
+	p.reply(req, rep)
+}
+
+func (p *Participant) handleApply(m comm.Message) {
+	tx, st, first, stale := p.admit(m)
+	if stale {
+		p.reply(m, comm.Message{Kind: comm.KindApplyReply, Code: dcodeStale})
+		return
+	}
+	if !first {
+		<-st.done
+		p.reply(m, st.reply)
+		return
+	}
+	if p.store == nil {
+		p.finish(m, st, comm.Message{Kind: comm.KindApplyReply, Code: dcodeFatal,
+			Err: fmt.Sprintf("component %q has no store", p.name)})
+		return
+	}
+	op := data.Op{Mode: data.Mode(m.Mode), Item: m.Item, Arg: m.Arg, Impl: data.Mode(m.Impl)}
+
+	// Locking. Distributed commit is strict at every protocol: locks are
+	// held to the decision (2PC's prepared state pins them anyway), so
+	// the protocols differ only in the lock space — semantic mode-table
+	// locks for the nested protocols, physical read/write locks under
+	// Global2PL, nothing under NoCC.
+	var table *data.ModeTable
+	mode := op.Mode
+	switch p.protocol {
+	case Global2PL:
+		table = p.rwTable
+		if mode = op.Physical(); mode != data.ModeRead {
+			mode = data.ModeWrite
+		}
+	case NoCC:
+	default:
+		table = p.modes
+	}
+	if table != nil {
+		deadline := time.Now().Add(time.Duration(m.Wait))
+		if err := p.lm.acquireUntil(table, op.Item, mode, m.Txn, m.TS, WaitDie, nil, deadline); err != nil {
+			p.finish(m, st, lockErrReply(comm.KindApplyReply, err))
+			return
+		}
+	}
+
+	// Re-validate under the mutex: the attempt may have been aborted (a
+	// sweeper abandon, a coordinator Abort, an attempt upgrade) while the
+	// lock wait blocked, and a stale grant must not mutate the store. A
+	// grant for a gone transaction is released; one racing a newer attempt
+	// of the same root is left in place (same lock owner — it drains at
+	// that attempt's decision). The journal + store mutation + undo append
+	// happen under p.mu so no abort can interleave with them.
+	p.mu.Lock()
+	if p.txns[m.Txn] != tx || p.resolved[m.Txn] {
+		gone := p.txns[m.Txn] == nil
+		p.mu.Unlock()
+		if gone && table != nil {
+			p.lm.release(m.Txn)
+		}
+		p.finish(m, st, comm.Message{Kind: comm.KindApplyReply, Code: dcodeStale})
+		return
+	}
+
+	// Write-ahead journal (mutations only), then the store mutation — the
+	// same discipline as the single-process leafOp, minus checkpoint
+	// gating (participants fold their history at recovery instead).
+	var lsn uint64
+	var res data.Result
+	var err error
+	if op.Physical() != data.ModeRead {
+		rec := wal.Record{
+			Type: wal.TypeApply, Txn: m.Txn, Node: m.Node, Comp: p.name,
+			Item: op.Item, Mode: string(op.Mode), Impl: string(op.Impl),
+			Arg: op.Arg, Prev: p.store.Get(op.Item),
+		}
+		if lsn, err = p.journal(rec); err != nil {
+			p.mu.Unlock()
+			p.finish(m, st, lockErrReply(comm.KindApplyReply, err))
+			return
+		}
+		res, err = p.store.Apply(op)
+		if err != nil && lsn != 0 {
+			p.journal(wal.Record{Type: wal.TypeApplyFail, Txn: m.Txn, Ref: lsn})
+		}
+	} else {
+		res, err = p.store.Apply(op)
+	}
+	if err != nil {
+		p.mu.Unlock()
+		p.finish(m, st, comm.Message{Kind: comm.KindApplyReply, Code: dcodeFatal, Err: err.Error()})
+		return
+	}
+	if op.Physical() != data.ModeRead {
+		tx.undo = append(tx.undo, pundo{op: op, res: res, lsn: lsn})
+	}
+	p.mu.Unlock()
+	p.finish(m, st, comm.Message{Kind: comm.KindApplyReply, OK: true, Value: res.Value})
+}
+
+// handleLock grants the semantic lock of a subtransaction invocation at
+// this (caller) component. No store is involved; the grant itself is the
+// recorded event, sequenced by the coordinator on reply receipt.
+func (p *Participant) handleLock(m comm.Message) {
+	tx, st, first, stale := p.admit(m)
+	if stale {
+		p.reply(m, comm.Message{Kind: comm.KindLockReply, Code: dcodeStale})
+		return
+	}
+	if !first {
+		<-st.done
+		p.reply(m, st.reply)
+		return
+	}
+	deadline := time.Now().Add(time.Duration(m.Wait))
+	if err := p.lm.acquireUntil(p.modes, m.Item, data.Mode(m.Mode), m.Txn, m.TS, WaitDie, nil, deadline); err != nil {
+		p.finish(m, st, lockErrReply(comm.KindLockReply, err))
+		return
+	}
+	// Same stale-grant re-validation as handleApply.
+	p.mu.Lock()
+	if p.txns[m.Txn] != tx || p.resolved[m.Txn] {
+		gone := p.txns[m.Txn] == nil
+		p.mu.Unlock()
+		if gone {
+			p.lm.release(m.Txn)
+		}
+		p.finish(m, st, comm.Message{Kind: comm.KindLockReply, Code: dcodeStale})
+		return
+	}
+	tx.lastTouch = time.Now()
+	p.mu.Unlock()
+	p.finish(m, st, comm.Message{Kind: comm.KindLockReply, OK: true})
+}
+
+func lockErrReply(kind comm.Kind, err error) comm.Message {
+	rep := comm.Message{Kind: kind}
+	switch {
+	case errors.Is(err, ErrDie):
+		rep.Code = dcodeDie
+	case errors.Is(err, ErrTimeout):
+		rep.Code = dcodeTimeout
+	case errors.Is(err, ErrCrashed):
+		rep.Code = dcodeCrashed
+	default:
+		rep.Code = dcodeFatal
+		rep.Err = err.Error()
+	}
+	return rep
+}
+
+// handlePrepare runs phase one: force the prepare record (with the root's
+// wait-die timestamp, for lock re-acquisition at recovery), then vote.
+// Read-only participants vote yes without forcing anything — with no
+// journaled effects there is nothing a crash could lose.
+func (p *Participant) handlePrepare(m comm.Message) {
+	p.mu.Lock()
+	if p.resolved[m.Txn] || m.Attempt <= p.aborted[m.Txn] {
+		p.mu.Unlock()
+		p.reply(m, comm.Message{Kind: comm.KindVote, Code: dcodeStale})
+		return
+	}
+	tx := p.txns[m.Txn]
+	if tx == nil || tx.attempt != m.Attempt {
+		p.mu.Unlock()
+		p.reply(m, comm.Message{Kind: comm.KindVote, Code: dcodeStale})
+		return
+	}
+	if tx.prepDone != nil {
+		done := tx.prepDone
+		p.mu.Unlock()
+		<-done
+		p.mu.Lock()
+		vote := tx.vote
+		p.mu.Unlock()
+		p.reply(m, vote)
+		return
+	}
+	done := make(chan struct{})
+	tx.prepDone = done
+	tx.lastTouch = time.Now()
+	hasWrites := len(tx.undo) > 0
+	p.mu.Unlock()
+
+	vote := comm.Message{Kind: comm.KindVote, OK: true}
+	if hasWrites {
+		rec := wal.Record{
+			Type: wal.TypePrepare, Txn: m.Txn, Node: attemptStr(m.Attempt),
+			Comp: p.name, Seq: m.TS,
+		}
+		if err := p.force([]wal.Record{rec}); err != nil {
+			vote = lockErrReply(comm.KindVote, err)
+		}
+	}
+	p.mu.Lock()
+	if p.txns[m.Txn] != tx {
+		// Aborted while the force was in flight (the coordinator only
+		// aborts an attempt it has given up on, so a yes here could never
+		// be acted on — but answer stale for defense in depth).
+		vote = comm.Message{Kind: comm.KindVote, Code: dcodeStale}
+	}
+	tx.vote = vote
+	tx.prepared = vote.OK
+	tx.lastTouch = time.Now()
+	p.mu.Unlock()
+	close(done)
+	if vote.OK && p.crash.fire(DistCrashPartPrepare, p.name, m.Txn) {
+		p.crashNow()
+		return
+	}
+	p.reply(m, vote)
+}
+
+// handleDecide runs phase two: force the decision record, apply it
+// (commit keeps the effects and releases locks; abort compensates in
+// reverse with journaled inverses first), then ack. Decides for unknown
+// or already-decided transactions ack idempotently.
+func (p *Participant) handleDecide(m comm.Message) {
+	p.mu.Lock()
+	tx := p.txns[m.Txn]
+	if p.resolved[m.Txn] || tx == nil || tx.attempt != m.Attempt {
+		p.mu.Unlock()
+		p.reply(m, comm.Message{Kind: comm.KindAck, OK: true})
+		return
+	}
+	if err := p.decideLocked(m.Txn, tx, m.Commit); err != nil {
+		p.mu.Unlock()
+		return // crashed mid-decision; recovery resolves it
+	}
+	p.mu.Unlock()
+	if p.crash.fire(DistCrashPartDecide, p.name, m.Txn) {
+		p.crashNow()
+		return
+	}
+	p.reply(m, comm.Message{Kind: comm.KindAck, OK: true})
+}
+
+// decideLocked applies a decision under p.mu: forced decision record,
+// effects, lock release, tombstones.
+func (p *Participant) decideLocked(txn string, tx *ptxn, commit bool) error {
+	if commit {
+		if len(tx.undo) > 0 {
+			rec := wal.Record{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "commit"}
+			if err := p.force([]wal.Record{rec}); err != nil {
+				return err
+			}
+		}
+		p.resolved[txn] = true
+		delete(p.txns, txn)
+		p.lm.release(txn)
+		return nil
+	}
+	// Abort of a prepared transaction: the compensations and the decision
+	// are forced as one batch before any inverse executes — recovery
+	// replays applies and compensations in log order, so any crash in
+	// between nets out.
+	var recs []wal.Record
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		inv, ok := data.Inverse(u.op, u.res)
+		if !ok {
+			continue
+		}
+		recs = append(recs, wal.Record{
+			Type: wal.TypeComp, Txn: txn, Comp: p.name,
+			Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
+			Arg: inv.Arg, Ref: u.lsn,
+		})
+	}
+	if len(tx.undo) > 0 {
+		recs = append(recs, wal.Record{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "abort"})
+		if err := p.force(recs); err != nil {
+			return err
+		}
+	}
+	p.undoLocked(tx)
+	if tx.attempt > p.aborted[txn] {
+		p.aborted[txn] = tx.attempt
+	}
+	delete(p.txns, txn)
+	p.lm.release(txn)
+	return nil
+}
+
+// handleAbort aborts one unprepared attempt (the coordinator's retry
+// path). Idempotent: tombstoned and unknown attempts ack immediately. A
+// prepared attempt routed here gets the durable abort decision instead.
+func (p *Participant) handleAbort(m comm.Message) {
+	p.mu.Lock()
+	tx := p.txns[m.Txn]
+	if p.resolved[m.Txn] || m.Attempt <= p.aborted[m.Txn] || tx == nil || tx.attempt != m.Attempt {
+		if tx == nil && m.Attempt > p.aborted[m.Txn] && !p.resolved[m.Txn] {
+			// Tombstone an attempt we never saw: a reordered Apply of it
+			// arriving later must not resurrect it.
+			p.aborted[m.Txn] = m.Attempt
+		}
+		p.mu.Unlock()
+		p.reply(m, comm.Message{Kind: comm.KindAbortReply, OK: true})
+		return
+	}
+	if tx.prepared {
+		if err := p.decideLocked(m.Txn, tx, false); err != nil {
+			p.mu.Unlock()
+			return
+		}
+	} else {
+		p.rollbackLocked(m.Txn, tx)
+	}
+	p.mu.Unlock()
+	p.reply(m, comm.Message{Kind: comm.KindAbortReply, OK: true})
+}
+
+// rollbackLocked undoes an unprepared attempt under p.mu: journaled
+// compensations (non-forced — recovery undoes uncommitted applies on its
+// own if they are lost), inverse applies in reverse order, lock release,
+// tombstone.
+func (p *Participant) rollbackLocked(txn string, tx *ptxn) {
+	if len(tx.undo) > 0 {
+		var recs []wal.Record
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			u := tx.undo[i]
+			inv, ok := data.Inverse(u.op, u.res)
+			if !ok {
+				continue
+			}
+			recs = append(recs, wal.Record{
+				Type: wal.TypeComp, Txn: txn, Comp: p.name,
+				Item: inv.Item, Mode: string(inv.Mode), Impl: string(inv.Impl),
+				Arg: inv.Arg, Ref: u.lsn,
+			})
+		}
+		recs = append(recs, wal.Record{Type: wal.TypeAbort, Txn: txn})
+		if p.wal != nil {
+			p.wal.AppendBatch(recs)
+		}
+	}
+	p.undoLocked(tx)
+	if tx.attempt > p.aborted[txn] {
+		p.aborted[txn] = tx.attempt
+	}
+	delete(p.txns, txn)
+	p.lm.release(txn)
+}
+
+func (p *Participant) undoLocked(tx *ptxn) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		if inv, ok := data.Inverse(u.op, u.res); ok {
+			p.store.Apply(inv)
+		}
+	}
+	tx.undo = nil
+}
+
+// sweeper is the participant's liveness loop. Unprepared attempts idle
+// past AbandonAfter are aborted unilaterally (presumed abort lets a
+// participant walk away before it votes); prepared attempts idle past
+// QueryAfter run the termination protocol — query the coordinator, which
+// answers commit (it has a durable decision), abort (presumed), or retry
+// (the vote round is still in flight).
+func (p *Participant) sweeper() {
+	defer p.sweeps.Done()
+	tick := time.NewTicker(p.sweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var abandon []string
+		var query []string
+		p.mu.Lock()
+		for txn, tx := range p.txns {
+			idle := now.Sub(tx.lastTouch)
+			switch {
+			case !tx.prepared && tx.prepDone == nil && idle > p.abandonAfter:
+				abandon = append(abandon, txn)
+			case tx.prepared && !tx.querying && idle > p.queryAfter:
+				tx.querying = true
+				query = append(query, txn)
+			}
+		}
+		for _, txn := range abandon {
+			if tx := p.txns[txn]; tx != nil && !tx.prepared && tx.prepDone == nil {
+				p.rollbackLocked(txn, tx)
+				p.unilats.Add(1)
+			}
+		}
+		p.mu.Unlock()
+		for _, txn := range query {
+			go p.resolveInDoubt(txn)
+		}
+	}
+}
+
+// resolveInDoubt asks the coordinator for the outcome of a prepared,
+// undecided transaction and applies the answer.
+func (p *Participant) resolveInDoubt(txn string) {
+	p.queries.Add(1)
+	rep, err := p.mux.Call(p.coord, comm.Message{Kind: comm.KindQuery, Txn: txn, Clock: p.tickClock()},
+		p.rpcTimeout, p.rpcRetries)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tx := p.txns[txn]
+	if tx == nil || !tx.prepared {
+		return
+	}
+	tx.querying = false
+	if err != nil || rep.Code == dcodeRetry {
+		tx.lastTouch = time.Now() // back off one QueryAfter window
+		return
+	}
+	if p.decideLocked(txn, tx, rep.Commit) == nil {
+		p.resolves.Add(1)
+	}
+}
+
+// inDoubt counts prepared, undecided transactions (Settle polls it).
+func (p *Participant) inDoubt() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, tx := range p.txns {
+		if tx.prepared {
+			n++
+		}
+	}
+	return n
+}
+
+func attemptStr(a uint32) string { return fmt.Sprintf("attempt-%d", a) }

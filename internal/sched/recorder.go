@@ -72,11 +72,21 @@ func (r *recorder) merge(s *stagedRecord) {
 func (r *Runtime) RecordedSystem() *model.System {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return assembleSystem(r.rec, func(comp string) *data.ModeTable {
+		return r.comps[comp].modes
+	})
+}
 
+// assembleSystem builds the composite-system model from a recorder's raw
+// committed events. Shared by the single-process Runtime and the
+// distributed Coordinator (whose recorder is fed by participant replies
+// and rebuilt from its WAL at recovery) — the checker sees the same
+// assembly either way.
+func assembleSystem(rec *recorder, modesOf func(string) *data.ModeTable) *model.System {
 	sys := model.NewSystem()
 	// Schedules: every component that scheduled a transaction.
 	used := map[string]bool{}
-	for _, n := range r.rec.nodes {
+	for _, n := range rec.nodes {
 		if n.sched != "" {
 			used[n.sched] = true
 		}
@@ -92,7 +102,7 @@ func (r *Runtime) RecordedSystem() *model.System {
 
 	// Nodes. Declarations may repeat across attempts of different
 	// transactions but IDs are unique within the committed projection.
-	for _, n := range r.rec.nodes {
+	for _, n := range rec.nodes {
 		switch {
 		case n.sched != "" && n.parent == "":
 			sys.AddRoot(n.id, model.ScheduleID(n.sched))
@@ -105,13 +115,13 @@ func (r *Runtime) RecordedSystem() *model.System {
 
 	// Conflicts and weak output orders per component, per item.
 	grouped := map[string][]event{}
-	for _, e := range r.rec.events {
+	for _, e := range rec.events {
 		grouped[e.comp] = append(grouped[e.comp], e)
 	}
 	for _, comp := range names {
 		evs := grouped[comp]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
-		modes := r.comps[comp].modes
+		modes := modesOf(comp)
 		sc := sys.Schedule(model.ScheduleID(comp))
 		byItem := map[string][]event{}
 		for _, e := range evs {

@@ -124,6 +124,9 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 			return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)
 		}
 	}
+	if meta.Dist {
+		return nil, fmt.Errorf("sched: %q is a distributed coordinator log; recover it with RecoverCoordinator", cfg.Dir)
+	}
 	protocol, err := ParseProtocol(meta.Protocol)
 	if err != nil {
 		return nil, fmt.Errorf("sched: bad WAL metadata: %w", err)

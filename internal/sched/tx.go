@@ -242,7 +242,7 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 		// returns immediately instead of sleeping first.
 		if retries > r.MaxRetries {
 			r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
-			return nil, fmt.Errorf("%w (last abort: %v)", ErrTooManyRetries, err)
+			return nil, fmt.Errorf("%w (last abort: %w)", ErrTooManyRetries, err)
 		}
 		// Jittered exponential backoff before retrying with the same
 		// timestamp (the transaction ages and eventually wins under

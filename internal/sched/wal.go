@@ -52,6 +52,9 @@ type walMeta struct {
 	// EnableWAL), so Recover rebuilds the certifier over the recovered
 	// history.
 	Certify bool `json:"certify,omitempty"`
+	// Dist marks a distributed coordinator log (2PC decisions instead of
+	// commit markers): recover it with RecoverCoordinator, not Recover.
+	Dist bool `json:"dist,omitempty"`
 }
 
 // EnableWAL attaches a fresh write-ahead log to the runtime: a metadata

@@ -176,6 +176,25 @@ func TestE11CrashMatrixRecoversEverywhere(t *testing.T) {
 	}
 }
 
+func TestE15NetChaosStaysAtomic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network-chaos matrix runs a WAL-backed cluster per cell; skipped in -short")
+	}
+	cfg := RunConfig{Roots: 8, Clients: 1, Seed: 7}
+	tab := E15NetChaos(cfg)
+	if len(tab.Rows) != 40 {
+		t.Fatalf("rows = %d, want 40 (2 protocols x 4 fault mixes x 5 crash sites)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if v := row[len(row)-1]; v != "Comp-C" {
+			t.Fatalf("chaos cell's merged history is not Comp-C: %v", row)
+		}
+		if a := row[len(row)-2]; a != "atomic" {
+			t.Fatalf("chaos cell broke distributed atomicity: %v", row)
+		}
+	}
+}
+
 func TestE12IncrementalBeatsFullRecheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("E12 times two full certification sweeps per stream; skipped in -short")

@@ -1,6 +1,6 @@
 // Package sim is the experiment harness: it regenerates every artifact in
-// the reproduction's experiment index (DESIGN.md §6, EXPERIMENTS.md) as a
-// formatted table (E1–E12). The cmd/compbench tool and the top-level benchmarks are
+// the reproduction's experiment index (DESIGN.md §7, EXPERIMENTS.md) as a
+// formatted table (E1–E15). The cmd/compbench tool and the top-level benchmarks are
 // thin wrappers around this package.
 package sim
 

@@ -62,6 +62,25 @@ const (
 	// Meta blob carries the runtime's checkpoint header (configuration,
 	// clock, cumulative counters).
 	TypeCheckpoint
+	// TypePrepare is the participant half of presumed-abort 2PC: forced
+	// before the participant votes yes. Txn/Node carry the transaction
+	// and attempt, Seq carries the root's wait-die timestamp so recovery
+	// can re-acquire locks for the in-doubt transaction at the right
+	// priority. A prepared transaction with no following TypeDecision is
+	// in doubt and must run the termination protocol (query the
+	// coordinator) before its locks can be released.
+	TypePrepare
+	// TypeDecision records a 2PC outcome. On the coordinator it is the
+	// forced commit decision (Mode "commit"; aborts are presumed and
+	// never logged). On a participant it is forced before acking a
+	// Decide message (Mode "commit" or "abort"), making the ack claim
+	// durable.
+	TypeDecision
+	// TypeEnd is the coordinator's non-forced note that every
+	// participant acked a decision: the transaction needs no re-delivery
+	// after coordinator recovery. Decisions without a TypeEnd are
+	// re-delivered.
+	TypeEnd
 
 	typeMax
 )
@@ -92,6 +111,12 @@ func (t Type) String() string {
 		return "ck-item"
 	case TypeCheckpoint:
 		return "checkpoint"
+	case TypePrepare:
+		return "prepare"
+	case TypeDecision:
+		return "decision"
+	case TypeEnd:
+		return "end"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}

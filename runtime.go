@@ -3,6 +3,7 @@ package compositetx
 import (
 	"io"
 
+	"compositetx/internal/comm"
 	"compositetx/internal/data"
 	"compositetx/internal/sched"
 	"compositetx/internal/workload"
@@ -74,6 +75,28 @@ type (
 	// CheckpointStats reports one checkpoint: marker LSN, folded roots and
 	// nodes, WAL segments deleted, MVCC versions dropped.
 	CheckpointStats = sched.CheckpointStats
+
+	// DistConfig configures a distributed cluster (StartCluster): one
+	// root coordinator plus one participant scheduler per component,
+	// wired over a pluggable message transport ("chan" in-process or
+	// "tcp" loopback), optionally perturbed by NetFaults and made
+	// durable under WALRoot.
+	DistConfig = sched.DistConfig
+	// Cluster is a running distributed composite driving presumed-abort
+	// 2PC for every root transaction; crash and recover either side
+	// through its methods, Settle to drain the in-doubt set, Audit to
+	// re-verify the committed history against Comp-C.
+	Cluster = sched.Cluster
+	// DistCrash arms one distributed crash-site injection
+	// (Cluster.SetCrash); see DistCrashCoordPre..DistCrashPartDecide.
+	DistCrash = sched.DistCrash
+	// DistMetrics is a cluster-wide counter snapshot.
+	DistMetrics = sched.DistMetrics
+	// NetFaultPlan configures the seeded network fault injector: drop,
+	// duplicate, delay, reorder and one-way partitions per message.
+	NetFaultPlan = comm.NetFaultPlan
+	// NetStats counts fault-injector decisions.
+	NetStats = comm.NetStats
 
 	// Op is a data-store operation; Mode its semantic class.
 	Op = data.Op
@@ -147,6 +170,31 @@ var (
 // redone, in-flight ones undone (journaled write-ahead, so recovery is
 // idempotent), and the result re-verified against Comp-C.
 func Recover(cfg WALConfig) (*Recovered, error) { return sched.Recover(cfg) }
+
+// Distributed crash sites (DistCrash.Site): each fires after the
+// corresponding WAL force, before the message that would reveal it —
+// the exact windows presumed-abort 2PC must survive.
+const (
+	DistCrashCoordPre    = sched.DistCrashCoordPre
+	DistCrashCoordPost   = sched.DistCrashCoordPost
+	DistCrashPartPrepare = sched.DistCrashPartPrepare
+	DistCrashPartDecide  = sched.DistCrashPartDecide
+)
+
+// StartCluster builds and starts a fresh distributed cluster: the
+// coordinator, one participant per component of cfg.Topo, and the
+// shared transport. Every Submit runs the presumed-abort two-phase
+// commit; participants force Prepare records before voting yes and
+// Decision records before acking.
+func StartCluster(cfg DistConfig) (*Cluster, error) { return sched.StartCluster(cfg) }
+
+// RecoverCluster rebuilds a whole distributed cluster from its
+// durability root (DistConfig.WALRoot) in a fresh process: topology and
+// protocol come from the coordinator log, participants are rebuilt from
+// their own logs with in-doubt transactions re-registered, and the
+// termination protocol plus decision re-delivery drain the in-doubt set
+// (wait with Cluster.Settle, re-verify with Cluster.Audit).
+func RecoverCluster(cfg DistConfig) (*Cluster, error) { return sched.RecoverCluster(cfg) }
 
 // Deadlock-handling policies.
 const (
