@@ -119,7 +119,7 @@ type ckState struct {
 	cfg CheckpointConfig
 
 	mu       sync.Mutex
-	inflight map[string]uint64   // txn -> first journaled-apply LSN of its live attempt
+	inflight map[string]uint64     // txn -> first journaled-apply LSN of its live attempt
 	snaps    map[*attempt]struct{} // active attempts with a registered snapshot (oldest stamp in attempt.snapLow)
 
 	sinceCk  atomic.Int64 // commits since the last checkpoint

@@ -29,8 +29,11 @@ type dcomp struct {
 }
 
 // coTxn tracks one durably committed transaction until every participant
-// acked its decision (then TypeEnd retires it from re-delivery).
+// acked its decision (then TypeEnd retires it from re-delivery). attempt
+// is the attempt that committed — re-delivered Decides and termination-
+// protocol answers are only valid for that attempt.
 type coTxn struct {
+	attempt uint32
 	parts   []string
 	pending map[string]bool
 	ended   bool
@@ -164,18 +167,19 @@ func (c *Coordinator) close() {
 }
 
 // handle answers the termination protocol: a prepared participant asking
-// for a transaction's outcome gets commit (a durable decision exists),
-// retry (the transaction is still executing or voting), or the presumed
-// abort.
+// for one attempt's outcome gets commit (a durable decision exists for
+// exactly that attempt), retry (the transaction is still executing or
+// voting), or the presumed abort. A prepared attempt other than the
+// committed one was superseded before the commit — it aborts.
 func (c *Coordinator) handle(m comm.Message) {
 	if c.crashed.Load() || m.Kind != comm.KindQuery {
 		return
 	}
 	c.mergeClock(m.Clock)
-	rep := comm.Message{Kind: comm.KindQueryReply, OK: true, Txn: m.Txn}
+	rep := comm.Message{Kind: comm.KindQueryReply, OK: true, Txn: m.Txn, Attempt: m.Attempt}
 	c.mu.Lock()
-	if _, ok := c.committed[m.Txn]; ok {
-		rep.Commit = true
+	if ct, ok := c.committed[m.Txn]; ok {
+		rep.Commit = ct.attempt == m.Attempt
 	} else if c.inflight[m.Txn] {
 		rep.Code = dcodeRetry
 	}
@@ -536,10 +540,20 @@ func (c *Coordinator) commit2PC(a *dattempt) error {
 		Node: attemptStr(a.attempt), Seq: a.ts, Meta: partsJSON,
 	})
 	if err := c.forceBatch(recs); err != nil {
+		// A non-crash WAL failure means this transaction can never commit
+		// (no durable decision) but every participant is prepared and
+		// holding locks. Clear the inflight entry — termination queries
+		// must get the presumed abort, not retry-forever — and fan the
+		// abort out so the locks drain now. A crash leaves both to
+		// recovery, which rebuilds from the log.
+		if !errors.Is(err, ErrCrashed) {
+			c.setInflight(a.txn, false)
+			c.fanDecide(a.txn, a.attempt, parts, false, nil)
+		}
 		return err
 	}
 
-	ct := &coTxn{parts: parts, pending: map[string]bool{}}
+	ct := &coTxn{attempt: a.attempt, parts: parts, pending: map[string]bool{}}
 	for _, p := range parts {
 		ct.pending[p] = true
 	}
@@ -614,8 +628,9 @@ func (c *Coordinator) redeliverLoop(every time.Duration) {
 		case <-tick.C:
 		}
 		type item struct {
-			txn   string
-			parts []string
+			txn     string
+			attempt uint32
+			parts   []string
 		}
 		var work []item
 		c.mu.Lock()
@@ -625,7 +640,7 @@ func (c *Coordinator) redeliverLoop(every time.Duration) {
 				for p := range ct.pending {
 					parts = append(parts, p)
 				}
-				work = append(work, item{txn, parts})
+				work = append(work, item{txn, ct.attempt, parts})
 			}
 		}
 		c.mu.Unlock()
@@ -634,7 +649,7 @@ func (c *Coordinator) redeliverLoop(every time.Duration) {
 			ct := c.committed[w.txn]
 			c.mu.Unlock()
 			c.redelivers.Add(1)
-			c.fanDecide(w.txn, 0, w.parts, true, ct)
+			c.fanDecide(w.txn, w.attempt, w.parts, true, ct)
 		}
 	}
 }

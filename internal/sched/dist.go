@@ -103,8 +103,8 @@ type partMeta struct {
 	Part    string `json:"part"`
 }
 
-func coordDir(root string) string           { return filepath.Join(root, "coord") }
-func partDir(root, name string) string      { return filepath.Join(root, "part-"+name) }
+func coordDir(root string) string      { return filepath.Join(root, "coord") }
+func partDir(root, name string) string { return filepath.Join(root, "part-"+name) }
 func parseAttempt(node string) uint32 {
 	n, _ := strconv.Atoi(strings.TrimPrefix(node, "attempt-"))
 	return uint32(n)
@@ -423,24 +423,27 @@ func (cl *Cluster) rebuildParticipant(p *Participant) error {
 		}
 	}
 
-	// Redo: seeds, then every surviving apply and compensation in log
-	// order — compensated applies net out, whatever the crash interleaved.
+	// Redo: seeds, then every surviving apply and compensation in a
+	// single pass in log order. ModeWrite compensations write back Prev
+	// and are non-commutative with later applies of other transactions,
+	// so the replay must preserve the logged interleaving exactly —
+	// compensated applies then net out, whatever the crash interleaved.
 	for _, rec := range seeds {
 		p.store.Set(rec.Item, rec.Prev)
 	}
-	for _, a := range applies {
-		if cancelled[a.lsn] {
+	for i, rec := range recs {
+		lsn := info.FirstLSN + uint64(i)
+		switch rec.Type {
+		case wal.TypeApply:
+			if cancelled[lsn] {
+				continue
+			}
+		case wal.TypeComp:
+		default:
 			continue
 		}
-		if _, err := p.store.Apply(opOf(a.rec)); err != nil {
-			return fmt.Errorf("sched: participant %s redo of record %d: %w", p.name, a.lsn, err)
-		}
-	}
-	for _, rec := range recs {
-		if rec.Type == wal.TypeComp {
-			if _, err := p.store.Apply(opOf(rec)); err != nil {
-				return fmt.Errorf("sched: participant %s redo of compensation: %w", p.name, err)
-			}
+		if _, err := p.store.Apply(opOf(rec)); err != nil {
+			return fmt.Errorf("sched: participant %s redo of %s record %d: %w", p.name, rec.Type, lsn, err)
 		}
 	}
 
@@ -595,7 +598,7 @@ func (cl *Cluster) RecoverCoordinator() error {
 			}
 			var parts []string
 			json.Unmarshal(rec.Meta, &parts)
-			ct := &coTxn{parts: parts, pending: map[string]bool{}}
+			ct := &coTxn{attempt: parseAttempt(rec.Node), parts: parts, pending: map[string]bool{}}
 			for _, p := range parts {
 				ct.pending[p] = true
 			}

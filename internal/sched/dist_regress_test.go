@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compositetx/internal/comm"
+	"compositetx/internal/data"
+)
+
+// Regression suite for review findings against the distributed runtime:
+// participant recovery must replay applies and compensations in log
+// order, the termination protocol must resolve per attempt, and decision
+// re-delivery must carry the committing attempt.
+
+// TestDistRecoverLogOrderReplay pins the participant recovery replay
+// order. ModeWrite compensations write back Prev and do not commute with
+// later applies: after Apply(x=5, T1), Comp(x=seed, T1 aborted),
+// Apply(x=7, T2 committed), a recovery that replays all applies first
+// and all compensations second rebuilds x=seed instead of x=7.
+func TestDistRecoverLogOrderReplay(t *testing.T) {
+	cfg := distConfig(t, Hybrid, "chan", true)
+	cl := startCluster(t, cfg)
+
+	write := func(arg int64, fail bool) Invocation {
+		steps := []Step{{Invoke: &Invocation{Component: "east", Item: "acct", Mode: data.ModeWrite,
+			Steps: []Step{{Op: &data.Op{Mode: data.ModeWrite, Item: "acct", Arg: arg}}}}}}
+		if fail {
+			steps = append(steps, Step{Fail: errors.New("client abort")})
+		}
+		return Invocation{Component: "bank", Steps: steps}
+	}
+
+	// T1 writes and aborts client-side: its apply and its compensation
+	// (write back the seed) are journaled. T2 then writes and commits.
+	if _, err := cl.Submit("T1", write(5, true)); !errors.Is(err, ErrClientAbort) {
+		t.Fatalf("T1: got %v, want ErrClientAbort", err)
+	}
+	if _, err := cl.Submit("T2", write(7, false)); err != nil {
+		t.Fatalf("T2: %v", err)
+	}
+	if got := cl.StoreSnapshot("east")["acct"]; got != 7 {
+		t.Fatalf("pre-crash east acct = %d, want 7", got)
+	}
+
+	if err := cl.CrashParticipant("east"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RecoverParticipant("east"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.StoreSnapshot("east")["acct"]; got != 7 {
+		t.Fatalf("recovered east acct = %d, want 7 (compensations replayed out of log order)", got)
+	}
+}
+
+// TestDistQueryPerAttempt pins the coordinator's termination-protocol
+// answer to the queried attempt: a durable commit decision answers
+// commit only for the attempt that committed; a prepared-but-superseded
+// earlier attempt gets the presumed abort, an in-flight transaction gets
+// retry, an unknown one the presumed abort.
+func TestDistQueryPerAttempt(t *testing.T) {
+	net := comm.NewChanNetwork()
+	t.Cleanup(func() { net.Close() })
+
+	cfg := distConfig(t, Hybrid, "chan", false).normalized()
+	c := newCoordinator(cfg, transferTopo(), &distCrashState{})
+	ep, err := net.Endpoint(coordName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.connect(ep)
+	t.Cleanup(c.close)
+	c.mu.Lock()
+	c.committed["Tc"] = &coTxn{attempt: 2, parts: []string{"east"}, pending: map[string]bool{}, ended: true}
+	c.inflight["Tf"] = true
+	c.mu.Unlock()
+
+	pep, err := net.Endpoint("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := comm.NewMux(pep, func(comm.Message) {})
+	mux.Start()
+	t.Cleanup(func() { mux.Close() })
+	query := func(txn string, attempt uint32) comm.Message {
+		t.Helper()
+		rep, err := mux.Call(coordName, comm.Message{Kind: comm.KindQuery, Txn: txn, Attempt: attempt},
+			cfg.RPCTimeout, cfg.RPCRetries)
+		if err != nil {
+			t.Fatalf("query %s attempt %d: %v", txn, attempt, err)
+		}
+		return rep
+	}
+
+	if rep := query("Tc", 2); !rep.Commit || rep.Code != dcodeOK {
+		t.Fatalf("committed attempt: got commit=%v code=%d, want commit", rep.Commit, rep.Code)
+	}
+	if rep := query("Tc", 1); rep.Commit || rep.Code != dcodeOK {
+		t.Fatalf("superseded attempt: got commit=%v code=%d, want presumed abort", rep.Commit, rep.Code)
+	}
+	if rep := query("Tf", 1); rep.Code != dcodeRetry {
+		t.Fatalf("in-flight: got code=%d, want dcodeRetry", rep.Code)
+	}
+	if rep := query("Tu", 1); rep.Commit || rep.Code != dcodeOK {
+		t.Fatalf("unknown: got commit=%v code=%d, want presumed abort", rep.Commit, rep.Code)
+	}
+}
+
+// TestDistRedeliveryCarriesAttempt pins decision re-delivery after a
+// coordinator crash: the re-delivered Decide must name the attempt that
+// committed, or prepared participants ack idempotently without ever
+// committing. The participant sweeper is parked (SweepEvery = 1h) so the
+// termination-protocol query path cannot mask a broken re-delivery path.
+func TestDistRedeliveryCarriesAttempt(t *testing.T) {
+	cfg := distConfig(t, Hybrid, "chan", true)
+	cfg.SweepEvery = time.Hour
+	cfg.QueryAfter = 40 * time.Millisecond // re-delivery tick
+	cl := startCluster(t, cfg)
+
+	cl.SetCrash(DistCrash{Txn: "T1", Site: DistCrashCoordPost})
+	prog := transferPrograms(1)[0]
+	if _, err := cl.Submit("T1", prog); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Submit: got %v, want ErrCrashed", err)
+	}
+	// The decision is durable but undelivered: both legs sit prepared.
+	if got := cl.participant("east").inDoubt() + cl.participant("west").inDoubt(); got == 0 {
+		t.Fatal("no prepared participant transactions before recovery")
+	}
+
+	if err := cl.RecoverCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Settle(5 * time.Second); err != nil {
+		t.Fatalf("re-delivery did not land the decision: %v", err)
+	}
+	distConserved(t, cl)
+	distAudit(t, cl)
+	m := cl.Metrics()
+	if m.Resolved != 0 {
+		t.Fatalf("resolved = %d, want 0 (query path was supposed to be parked)", m.Resolved)
+	}
+	if m.Redelivers == 0 {
+		t.Fatal("redelivers = 0, want at least one re-delivery round")
+	}
+	// The transfer must have actually committed at both participants.
+	if east := cl.StoreSnapshot("east")["acct"]; east == distInitial {
+		t.Fatalf("east acct = %d (unchanged): the commit never landed", east)
+	}
+}

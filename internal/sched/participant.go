@@ -727,7 +727,11 @@ func (p *Participant) sweeper() {
 		}
 		now := time.Now()
 		var abandon []string
-		var query []string
+		type inDoubtQuery struct {
+			txn string
+			tx  *ptxn
+		}
+		var query []inDoubtQuery
 		p.mu.Lock()
 		for txn, tx := range p.txns {
 			idle := now.Sub(tx.lastTouch)
@@ -736,7 +740,7 @@ func (p *Participant) sweeper() {
 				abandon = append(abandon, txn)
 			case tx.prepared && !tx.querying && idle > p.queryAfter:
 				tx.querying = true
-				query = append(query, txn)
+				query = append(query, inDoubtQuery{txn, tx})
 			}
 		}
 		for _, txn := range abandon {
@@ -746,23 +750,28 @@ func (p *Participant) sweeper() {
 			}
 		}
 		p.mu.Unlock()
-		for _, txn := range query {
-			go p.resolveInDoubt(txn)
+		for _, q := range query {
+			go p.resolveInDoubt(q.txn, q.tx)
 		}
 	}
 }
 
-// resolveInDoubt asks the coordinator for the outcome of a prepared,
-// undecided transaction and applies the answer.
-func (p *Participant) resolveInDoubt(txn string) {
+// resolveInDoubt asks the coordinator for the outcome of one prepared,
+// undecided attempt and applies the answer. The query carries the
+// attempt and the answer is applied only if p.txns[txn] still holds the
+// exact ptxn the query was issued for: a presumed-abort reply computed
+// for an earlier attempt (or delayed in the network across a retry
+// round) must never abort a later attempt that has since prepared and
+// may be committing at the coordinator.
+func (p *Participant) resolveInDoubt(txn string, tx *ptxn) {
 	p.queries.Add(1)
-	rep, err := p.mux.Call(p.coord, comm.Message{Kind: comm.KindQuery, Txn: txn, Clock: p.tickClock()},
+	rep, err := p.mux.Call(p.coord,
+		comm.Message{Kind: comm.KindQuery, Txn: txn, Attempt: tx.attempt, Clock: p.tickClock()},
 		p.rpcTimeout, p.rpcRetries)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	tx := p.txns[txn]
-	if tx == nil || !tx.prepared {
-		return
+	if p.txns[txn] != tx || !tx.prepared {
+		return // the queried attempt is gone or superseded; drop the answer
 	}
 	tx.querying = false
 	if err != nil || rep.Code == dcodeRetry {

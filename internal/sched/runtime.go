@@ -282,14 +282,14 @@ type Runtime struct {
 // New builds a runtime for the given protocol and component topology.
 func New(protocol Protocol, specs []ComponentSpec) *Runtime {
 	r := &Runtime{
-		protocol:   protocol,
-		comps:      make(map[string]*component, len(specs)),
-		globalLM:   newLockManager(),
-		rwTable:    data.RWTable(),
-		rec:        newRecorder(),
-		wfg:        newWaitGraph(),
-		sealM:      make(map[string]uint64),
-		ck:         newCkState(),
+		protocol:       protocol,
+		comps:          make(map[string]*component, len(specs)),
+		globalLM:       newLockManager(),
+		rwTable:        data.RWTable(),
+		rec:            newRecorder(),
+		wfg:            newWaitGraph(),
+		sealM:          make(map[string]uint64),
+		ck:             newCkState(),
 		MaxRetries:     10000,
 		SubRetries:     2,
 		RefreshRetries: 6,
