@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash mvcc soak net bench benchsmoke experiments clean
+.PHONY: all build test verify race chaos crash mvcc soak net distperf bench benchsmoke experiments clean
 
 all: build test
 
@@ -70,17 +70,27 @@ net:
 	$(GO) test -race -count=1 -run 'TestDist' ./internal/sched
 	$(GO) test -race -count=1 -run 'TestE15' ./internal/sim
 
+# distperf runs the group-commit throughput gate: the E16 sustained
+# distributed-throughput comparison at 64 concurrent clients on the
+# channel transport, asserting the coalesced force path beats per-txn
+# fsync (and the WAL force/flush-daemon suite under the race detector).
+# Not under -race: the gate measures wall-clock throughput.
+distperf:
+	$(GO) test -race -count=1 -run 'TestForce|TestAbandon' ./internal/wal
+	$(GO) test -count=1 -run 'TestE16' ./internal/sim
+
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
 # chaos-recovery, E11 crash-matrix, E12 online-certification, E13
-# MVCC-vs-lock, E14 bounded-memory checkpoint and E15 network-chaos
-# tables, plus checker, incremental-certification, WAL, checkpoint and
-# distributed-commit microbenchmarks (ns/op, CheckBatch worker scaling,
-# E12 incremental-vs-full per-commit cost, WAL append under each
-# group-commit setting, full crash recovery, E14 tail/recovery growth
-# across the horizon spread, end-to-end 2PC latency per transport). See
-# DESIGN.md §7.1.
+# MVCC-vs-lock, E14 bounded-memory checkpoint, E15 network-chaos and E16
+# distributed-throughput tables, plus checker, incremental-certification,
+# WAL, checkpoint and distributed-commit microbenchmarks (ns/op,
+# CheckBatch worker scaling, E12 incremental-vs-full per-commit cost, WAL
+# append under each group-commit setting, full crash recovery, E14
+# tail/recovery growth across the horizon spread, end-to-end 2PC latency
+# per transport, E16 group-commit vs per-txn-fsync throughput at 64
+# concurrent clients). See DESIGN.md §7.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14,E15 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14,E15,E16 -json BENCH_checker.json
 
 # benchsmoke runs every benchmark for exactly one iteration — a CI smoke
 # test that the bench harness still compiles and completes, not a
@@ -88,7 +98,7 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# experiments regenerates every E1-E15 table on stdout.
+# experiments regenerates every E1-E16 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

@@ -1,5 +1,5 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E15 in DESIGN.md §7 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E16 in DESIGN.md §7 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
@@ -11,10 +11,11 @@
 // units, the E7 scaling configurations, CheckBatch throughput at 1 vs 8
 // workers, the E12 incremental-vs-full per-commit cost, WAL append under
 // each group-commit setting, full crash recovery, the E13 MVCC-vs-lock
-// curve cells, the E14 bounded-memory checkpoint soak, and end-to-end
-// 2PC latency per transport for E15) are also written to the given file;
-// the repository keeps the result as BENCH_checker.json so the perf
-// trajectory is machine-readable across PRs.
+// curve cells, the E14 bounded-memory checkpoint soak, end-to-end
+// 2PC latency per transport for E15, and the E16 sustained distributed
+// throughput cells at 64 concurrent clients) are also written to the
+// given file; the repository keeps the result as BENCH_checker.json so
+// the perf trajectory is machine-readable across PRs.
 package main
 
 import (
@@ -83,7 +84,7 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E14)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E16)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -109,8 +110,9 @@ func main() {
 		"E13": func() *sim.Table { return sim.E13MVCC(sim.DefaultMVCCConfig()) },
 		"E14": func() *sim.Table { return sim.E14Checkpoint(sim.DefaultCheckpointConfig()) },
 		"E15": func() *sim.Table { return sim.E15NetChaos(sim.DefaultNetChaosConfig()) },
+		"E16": func() *sim.Table { return sim.E16DistThroughput(sim.DefaultDistPerfConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -138,7 +140,7 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: append(append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...), sim.DistBenchmarks()...),
+			Benchmarks: append(append(append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...), sim.DistBenchmarks()...), sim.DistPerfBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -42,6 +42,12 @@ type NetStats struct {
 	Reordered  uint64
 	Partitions uint64 // one-way partitions started
 	PartDrops  uint64 // messages lost to an active partition
+
+	// Coalesce carries the TCP transport's frames-vs-messages counters
+	// when the wrapped network runs over TCP (injection happens above the
+	// coalescing layer, per message, so fault semantics are unchanged by
+	// batching). Zero on the channel transport.
+	Coalesce CoalesceStats
 }
 
 // FaultNetwork wraps an inner Network and perturbs Send according to a

@@ -53,6 +53,7 @@ type Coordinator struct {
 	comps    map[string]*dcomp
 	mux      *comm.Mux
 	wal      *wal.Log
+	group    bool          // coalesce force points through wal.Force
 	clock    atomic.Uint64 // Lamport clock; event-sequence authority
 	tsc      atomic.Uint64 // wait-die timestamp source
 	crashed  atomic.Bool
@@ -96,6 +97,7 @@ func newCoordinator(cfg DistConfig, topo *Topology, crash *distCrashState) *Coor
 		topo:     topo,
 		comps:    map[string]*dcomp{},
 		crash:    crash,
+		group:    cfg.GroupCommit,
 
 		rpcTimeout: cfg.RPCTimeout,
 		rpcRetries: cfg.RPCRetries,
@@ -616,7 +618,10 @@ func (c *Coordinator) fanDecide(txn string, attempt uint32, parts []string, comm
 
 // redeliverLoop re-sends committed decisions that miss acks — the
 // recovery path for participant crashes and lost Decides. Presumed-abort
-// needs no counterpart for aborts.
+// needs no counterpart for aborts. Outstanding decisions are batched per
+// peer: one sender goroutine per participant drains all of that peer's
+// missing Decides in a tick, so a round is bounded by the slowest peer,
+// not by the number of unended transactions.
 func (c *Coordinator) redeliverLoop(every time.Duration) {
 	defer c.bg.Done()
 	tick := time.NewTicker(every)
@@ -630,26 +635,65 @@ func (c *Coordinator) redeliverLoop(every time.Duration) {
 		type item struct {
 			txn     string
 			attempt uint32
-			parts   []string
 		}
-		var work []item
+		var txns []string
+		byPeer := map[string][]item{}
 		c.mu.Lock()
 		for txn, ct := range c.committed {
-			if !ct.ended {
-				parts := make([]string, 0, len(ct.pending))
-				for p := range ct.pending {
-					parts = append(parts, p)
-				}
-				work = append(work, item{txn, ct.attempt, parts})
+			if ct.ended {
+				continue
+			}
+			txns = append(txns, txn)
+			for p := range ct.pending {
+				byPeer[p] = append(byPeer[p], item{txn, ct.attempt})
 			}
 		}
 		c.mu.Unlock()
-		for _, w := range work {
-			c.mu.Lock()
-			ct := c.committed[w.txn]
-			c.mu.Unlock()
-			c.redelivers.Add(1)
-			c.fanDecide(w.txn, w.attempt, w.parts, true, ct)
+		if len(txns) == 0 {
+			continue
+		}
+		c.redelivers.Add(int64(len(txns)))
+
+		type ackKey struct{ txn, part string }
+		var ackMu sync.Mutex
+		acked := map[ackKey]bool{}
+		var wg sync.WaitGroup
+		for part, items := range byPeer {
+			wg.Add(1)
+			go func(part string, items []item) {
+				defer wg.Done()
+				for _, it := range items {
+					rep, err := c.call(part, comm.Message{Kind: comm.KindDecide, Txn: it.txn, Attempt: it.attempt, Commit: true})
+					if err == nil && rep.OK {
+						ackMu.Lock()
+						acked[ackKey{it.txn, part}] = true
+						ackMu.Unlock()
+					}
+				}
+			}(part, items)
+		}
+		wg.Wait()
+
+		var ended []string
+		c.mu.Lock()
+		for _, txn := range txns {
+			ct := c.committed[txn]
+			if ct == nil || ct.ended {
+				continue
+			}
+			for part := range ct.pending {
+				if acked[ackKey{txn, part}] {
+					delete(ct.pending, part)
+				}
+			}
+			if len(ct.pending) == 0 {
+				ct.ended = true
+				ended = append(ended, txn)
+			}
+		}
+		c.mu.Unlock()
+		for _, txn := range ended {
+			c.journal(wal.Record{Type: wal.TypeEnd, Txn: txn})
 		}
 	}
 }
@@ -681,17 +725,22 @@ func (c *Coordinator) journal(rec wal.Record) (uint64, error) {
 	return lsn, nil
 }
 
+// forceBatch makes recs durable before returning. In group-commit mode
+// the wait goes through the coalesced Force API: N roots committing
+// concurrently share one decision fsync instead of paying one each.
 func (c *Coordinator) forceBatch(recs []wal.Record) error {
 	if c.wal == nil {
 		return nil
 	}
-	if _, err := c.wal.AppendBatch(recs); err != nil {
-		if errors.Is(err, wal.ErrClosed) {
-			return ErrCrashed
+	var err error
+	if c.group {
+		err = <-c.wal.Force(recs)
+	} else {
+		if _, err = c.wal.AppendBatch(recs); err == nil {
+			err = c.wal.Sync()
 		}
-		return err
 	}
-	if err := c.wal.Sync(); err != nil {
+	if err != nil {
 		if errors.Is(err, wal.ErrClosed) {
 			return ErrCrashed
 		}

@@ -108,6 +108,87 @@ func TestDistQueryPerAttempt(t *testing.T) {
 	}
 }
 
+// TestDistGroupCommitCrashBetweenFlushAndSend pins the coalesced force
+// path's crash window: with group commit on, a participant's force is a
+// shared group flush, and the armed crash lands after that flush
+// completes but before the dependent protocol send (the Vote after the
+// prepare force, the Ack after the decision force). The flushed records
+// must be durable — recovery rebuilds the in-doubt or decided state from
+// them — and the never-sent message must be recovered by retry,
+// re-delivery, or the termination protocol, never by a false ack.
+func TestDistGroupCommitCrashBetweenFlushAndSend(t *testing.T) {
+	t.Run("decision-flush-before-ack", func(t *testing.T) {
+		cfg := distConfig(t, Hybrid, "chan", true)
+		cfg.GroupCommit = true
+		cl := startCluster(t, cfg)
+
+		cl.SetCrash(DistCrash{Txn: "T1", Site: DistCrashPartDecide, Part: "east"})
+		// The coordinator's decision is durable and west acks, so Submit
+		// succeeds; east group-flushed its TypeDecision record and crashed
+		// before the Ack went out.
+		if _, err := cl.Submit("T1", transferPrograms(1)[0]); err != nil {
+			t.Fatalf("T1: %v", err)
+		}
+		if err := cl.RecoverParticipant("east"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Settle(5 * time.Second); err != nil {
+			t.Fatalf("settle after recovery: %v", err)
+		}
+		distConserved(t, cl)
+		distAudit(t, cl)
+		if east := cl.StoreSnapshot("east")["acct"]; east == distInitial {
+			t.Fatalf("east acct = %d (unchanged): the group-flushed decision was lost", east)
+		}
+		if m := cl.Metrics(); m.GroupForces == 0 {
+			t.Fatalf("cell ran without the coalesced force path: %s", m)
+		}
+	})
+
+	t.Run("prepare-flush-before-vote", func(t *testing.T) {
+		cfg := distConfig(t, Hybrid, "chan", true)
+		cfg.GroupCommit = true
+		cl := startCluster(t, cfg)
+
+		cl.SetCrash(DistCrash{Txn: "T1", Site: DistCrashPartPrepare, Part: "east"})
+		// east group-flushes its TypePrepare record then crashes before the
+		// yes-vote; the coordinator times out the vote and presumes abort.
+		// A watcher recovers east so a retried attempt can commit.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					for _, name := range cl.CrashedParticipants() {
+						_ = cl.RecoverParticipant(name)
+					}
+				}
+			}
+		}()
+		if _, err := cl.Submit("T1", transferPrograms(1)[0]); err != nil {
+			t.Fatalf("T1: %v", err)
+		}
+		if err := cl.Settle(5 * time.Second); err != nil {
+			t.Fatalf("settle: %v", err)
+		}
+		distConserved(t, cl)
+		distAudit(t, cl)
+		// Exactly one attempt committed: the crashed attempt's in-doubt
+		// prepare must have resolved to abort, not a second commit.
+		if east := cl.StoreSnapshot("east")["acct"]; east == distInitial {
+			t.Fatalf("east acct = %d (unchanged): retried attempt never committed", east)
+		}
+		if m := cl.Metrics(); m.Commits != 1 {
+			t.Fatalf("commits = %d, want exactly 1: %s", m.Commits, m)
+		}
+	})
+}
+
 // TestDistRedeliveryCarriesAttempt pins decision re-delivery after a
 // coordinator crash: the re-delivered Decide must name the attempt that
 // committed, or prepared participants ack idempotently without ever

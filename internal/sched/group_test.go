@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Group commit on a durable cluster: every force point goes through the
+// WAL flush daemon, the metrics expose the coalescing counters, and the
+// run is still conserved + Comp-C.
+func TestDistGroupCommitMetrics(t *testing.T) {
+	cfg := distConfig(t, Hybrid, "chan", true)
+	cfg.GroupCommit = true
+	cl := startCluster(t, cfg)
+
+	progs := transferPrograms(24)
+	committed := distRun(t, cl, progs, 8)
+	if len(committed) != len(progs) {
+		t.Fatalf("%d of %d programs committed", len(committed), len(progs))
+	}
+	if err := cl.Settle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	distConserved(t, cl)
+	distAudit(t, cl)
+
+	m := cl.Metrics()
+	if m.GroupForces == 0 {
+		t.Fatalf("group commit enabled but GroupForces=0: %s", m)
+	}
+	if m.GroupWindows == 0 || m.GroupWindows > m.GroupForces {
+		t.Fatalf("GroupWindows=%d inconsistent with GroupForces=%d: %s",
+			m.GroupWindows, m.GroupForces, m)
+	}
+	if m.GroupMaxBatch == 0 {
+		t.Fatalf("GroupMaxBatch=0 with %d forces: %s", m.GroupForces, m)
+	}
+	if s := m.String(); !strings.Contains(s, "group[") {
+		t.Fatalf("metrics string missing group commit line: %s", s)
+	}
+}
+
+// Per-txn fsync mode must not report group-commit activity: the counters
+// (and the metrics line) only appear when the coalesced path is in use.
+func TestDistPerTxnFsyncNoGroupMetrics(t *testing.T) {
+	cl := startCluster(t, distConfig(t, Hybrid, "chan", true))
+	for i, prog := range transferPrograms(4) {
+		if _, err := cl.Submit(fmt.Sprintf("T%d", i+1), prog); err != nil {
+			t.Fatalf("T%d: %v", i+1, err)
+		}
+	}
+	if err := cl.Settle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Metrics()
+	if m.GroupForces != 0 {
+		t.Fatalf("GroupForces=%d without GroupCommit: %s", m.GroupForces, m)
+	}
+	if s := m.String(); strings.Contains(s, "group[") {
+		t.Fatalf("metrics string reports group commit without it: %s", s)
+	}
+}
+
+// Over TCP the cluster metrics additionally surface the transport's
+// message-coalescing counters.
+func TestDistTCPCoalesceMetrics(t *testing.T) {
+	cfg := distConfig(t, Hybrid, "tcp", true)
+	cfg.GroupCommit = true
+	cl := startCluster(t, cfg)
+
+	progs := transferPrograms(12)
+	committed := distRun(t, cl, progs, 4)
+	if len(committed) != len(progs) {
+		t.Fatalf("%d of %d programs committed", len(committed), len(progs))
+	}
+	if err := cl.Settle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	distConserved(t, cl)
+	distAudit(t, cl)
+
+	m := cl.Metrics()
+	if m.Coal.Messages == 0 || m.Coal.Flushes == 0 {
+		t.Fatalf("tcp transport but no coalesce stats: %+v", m.Coal)
+	}
+	if m.Coal.Flushes > m.Coal.Messages {
+		t.Fatalf("flushes=%d > messages=%d", m.Coal.Flushes, m.Coal.Messages)
+	}
+	if s := m.String(); !strings.Contains(s, "coal[") {
+		t.Fatalf("metrics string missing coalesce line: %s", s)
+	}
+}

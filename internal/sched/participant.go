@@ -103,15 +103,16 @@ type pundo struct {
 
 // ptxn is the participant-side state of one root transaction attempt.
 type ptxn struct {
-	attempt   uint32
-	ts        uint64 // root wait-die timestamp
-	steps     map[string]*pdedup
-	undo      []pundo
-	prepDone  chan struct{} // non-nil once a Prepare is being processed
-	vote      comm.Message  // recorded vote, valid after prepDone closes
-	prepared  bool
-	querying  bool
-	lastTouch time.Time
+	attempt    uint32
+	ts         uint64 // root wait-die timestamp
+	steps      map[string]*pdedup
+	undo       []pundo
+	prepDone   chan struct{} // non-nil once a Prepare is being processed
+	vote       comm.Message  // recorded vote, valid after prepDone closes
+	decideDone chan struct{} // non-nil once a decision force is in flight
+	prepared   bool
+	querying   bool
+	lastTouch  time.Time
 }
 
 // Participant is one component's half of the distributed runtime: its
@@ -128,6 +129,7 @@ type Participant struct {
 	lm       *lockManager
 	mux      *comm.Mux
 	wal      *wal.Log // nil when volatile or storeless
+	group    bool     // coalesce force points through wal.Force
 	clock    atomic.Uint64
 	crashed  atomic.Bool
 	crash    *distCrashState
@@ -163,6 +165,7 @@ func newParticipant(name string, spec ComponentSpec, cfg DistConfig, crash *dist
 		rwTable:  data.RWTable(),
 		lm:       newLockManager(),
 		crash:    crash,
+		group:    cfg.GroupCommit,
 
 		abandonAfter: cfg.AbandonAfter,
 		queryAfter:   cfg.QueryAfter,
@@ -255,18 +258,23 @@ func (p *Participant) journal(rec wal.Record) (uint64, error) {
 	return lsn, nil
 }
 
-// force appends a batch and fsyncs it — the durability points of 2PC.
+// force makes recs durable before returning — the durability points of
+// 2PC. In group-commit mode the wait goes through the coalesced Force
+// API, so concurrent transactions forcing on this log share one fsync;
+// otherwise the caller pays its own append+sync.
 func (p *Participant) force(recs []wal.Record) error {
-	if p.wal == nil {
+	if p.wal == nil || len(recs) == 0 {
 		return nil
 	}
-	if _, err := p.wal.AppendBatch(recs); err != nil {
-		if errors.Is(err, wal.ErrClosed) {
-			return ErrCrashed
+	var err error
+	if p.group {
+		err = <-p.wal.Force(recs)
+	} else {
+		if _, err = p.wal.AppendBatch(recs); err == nil {
+			err = p.wal.Sync()
 		}
-		return err
 	}
-	if err := p.wal.Sync(); err != nil {
+	if err != nil {
 		if errors.Is(err, wal.ErrClosed) {
 			return ErrCrashed
 		}
@@ -315,7 +323,9 @@ func (p *Participant) admit(m comm.Message) (tx *ptxn, st *pdedup, first, stale 
 		return nil, nil, false, true
 	}
 	tx = p.txns[m.Txn]
-	if tx != nil && tx.attempt > m.Attempt {
+	if tx != nil && (tx.attempt > m.Attempt || tx.decideDone != nil) {
+		// A decision force in flight settles the attempt; nothing may
+		// touch it (or upgrade past it) until the outcome lands.
 		return nil, nil, false, true
 	}
 	if tx != nil && tx.attempt < m.Attempt {
@@ -407,9 +417,10 @@ func (p *Participant) handleApply(m comm.Message) {
 	// grant for a gone transaction is released; one racing a newer attempt
 	// of the same root is left in place (same lock owner — it drains at
 	// that attempt's decision). The journal + store mutation + undo append
-	// happen under p.mu so no abort can interleave with them.
+	// happen under p.mu so no abort can interleave with them; an in-flight
+	// decision force (decideDone) settles the attempt the same way.
 	p.mu.Lock()
-	if p.txns[m.Txn] != tx || p.resolved[m.Txn] {
+	if p.txns[m.Txn] != tx || p.resolved[m.Txn] || tx.decideDone != nil {
 		gone := p.txns[m.Txn] == nil
 		p.mu.Unlock()
 		if gone && table != nil {
@@ -476,7 +487,7 @@ func (p *Participant) handleLock(m comm.Message) {
 	}
 	// Same stale-grant re-validation as handleApply.
 	p.mu.Lock()
-	if p.txns[m.Txn] != tx || p.resolved[m.Txn] {
+	if p.txns[m.Txn] != tx || p.resolved[m.Txn] || tx.decideDone != nil {
 		gone := p.txns[m.Txn] == nil
 		p.mu.Unlock()
 		if gone {
@@ -572,7 +583,17 @@ func (p *Participant) handlePrepare(m comm.Message) {
 // (commit keeps the effects and releases locks; abort compensates in
 // reverse with journaled inverses first), then ack. Decides for unknown
 // or already-decided transactions ack idempotently.
+//
+// The force runs outside p.mu: the records are built under the mutex,
+// tx.decideDone marks the decision in flight (every other path treats the
+// attempt as settled and keeps hands off), and only the post-force state
+// transition retakes the mutex. N concurrent decisions on one participant
+// therefore share coalesced fsyncs instead of serializing a private fsync
+// each behind p.mu.
 func (p *Participant) handleDecide(m comm.Message) {
+	if p.crashed.Load() {
+		return
+	}
 	p.mu.Lock()
 	tx := p.txns[m.Txn]
 	if p.resolved[m.Txn] || tx == nil || tx.attempt != m.Attempt {
@@ -580,11 +601,32 @@ func (p *Participant) handleDecide(m comm.Message) {
 		p.reply(m, comm.Message{Kind: comm.KindAck, OK: true})
 		return
 	}
-	if err := p.decideLocked(m.Txn, tx, m.Commit); err != nil {
+	if tx.decideDone != nil {
+		// Duplicate racing the first delivery's force: wait for the
+		// outcome, then reclassify from scratch.
+		done := tx.decideDone
 		p.mu.Unlock()
+		<-done
+		p.handleDecide(m)
+		return
+	}
+	done := make(chan struct{})
+	tx.decideDone = done
+	tx.lastTouch = time.Now()
+	recs := p.decisionRecordsLocked(m.Txn, tx, m.Commit)
+	p.mu.Unlock()
+
+	err := p.force(recs)
+	p.mu.Lock()
+	if err != nil {
+		tx.decideDone = nil // a redelivery may retry the decision
+		p.mu.Unlock()
+		close(done)
 		return // crashed mid-decision; recovery resolves it
 	}
+	p.applyDecisionLocked(m.Txn, tx, m.Commit)
 	p.mu.Unlock()
+	close(done)
 	if p.crash.fire(DistCrashPartDecide, p.name, m.Txn) {
 		p.crashNow()
 		return
@@ -592,20 +634,17 @@ func (p *Participant) handleDecide(m comm.Message) {
 	p.reply(m, comm.Message{Kind: comm.KindAck, OK: true})
 }
 
-// decideLocked applies a decision under p.mu: forced decision record,
-// effects, lock release, tombstones.
-func (p *Participant) decideLocked(txn string, tx *ptxn, commit bool) error {
-	if commit {
-		if len(tx.undo) > 0 {
-			rec := wal.Record{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "commit"}
-			if err := p.force([]wal.Record{rec}); err != nil {
-				return err
-			}
-		}
-		p.resolved[txn] = true
-		delete(p.txns, txn)
-		p.lm.release(txn)
+// decisionRecordsLocked builds what a decision must force before any of
+// its effects execute: the decision record for a commit, the journaled
+// compensations followed by the decision record for an abort. Empty when
+// the attempt journaled nothing (read-only here) — such a decision needs
+// no durability point.
+func (p *Participant) decisionRecordsLocked(txn string, tx *ptxn, commit bool) []wal.Record {
+	if len(tx.undo) == 0 {
 		return nil
+	}
+	if commit {
+		return []wal.Record{{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "commit"}}
 	}
 	// Abort of a prepared transaction: the compensations and the decision
 	// are forced as one batch before any inverse executes — recovery
@@ -624,18 +663,34 @@ func (p *Participant) decideLocked(txn string, tx *ptxn, commit bool) error {
 			Arg: inv.Arg, Ref: u.lsn,
 		})
 	}
-	if len(tx.undo) > 0 {
-		recs = append(recs, wal.Record{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "abort"})
-		if err := p.force(recs); err != nil {
-			return err
+	return append(recs, wal.Record{Type: wal.TypeDecision, Txn: txn, Node: attemptStr(tx.attempt), Mode: "abort"})
+}
+
+// applyDecisionLocked finalizes a decided attempt under p.mu once its
+// records are durable: commit keeps the effects, abort compensates in
+// reverse; locks release, tombstones update.
+func (p *Participant) applyDecisionLocked(txn string, tx *ptxn, commit bool) {
+	if commit {
+		p.resolved[txn] = true
+	} else {
+		p.undoLocked(tx)
+		if tx.attempt > p.aborted[txn] {
+			p.aborted[txn] = tx.attempt
 		}
-	}
-	p.undoLocked(tx)
-	if tx.attempt > p.aborted[txn] {
-		p.aborted[txn] = tx.attempt
 	}
 	delete(p.txns, txn)
 	p.lm.release(txn)
+}
+
+// decideLocked applies a decision wholly under p.mu: forced decision
+// record, effects, lock release, tombstones. The cold paths (attempt
+// upgrades, coordinator aborts of prepared attempts, termination-protocol
+// answers) use it; the hot Decide path pipelines through handleDecide.
+func (p *Participant) decideLocked(txn string, tx *ptxn, commit bool) error {
+	if err := p.force(p.decisionRecordsLocked(txn, tx, commit)); err != nil {
+		return err
+	}
+	p.applyDecisionLocked(txn, tx, commit)
 	return nil
 }
 
@@ -651,6 +706,14 @@ func (p *Participant) handleAbort(m comm.Message) {
 			// arriving later must not resurrect it.
 			p.aborted[m.Txn] = m.Attempt
 		}
+		p.mu.Unlock()
+		p.reply(m, comm.Message{Kind: comm.KindAbortReply, OK: true})
+		return
+	}
+	if tx.decideDone != nil {
+		// A decision force is in flight; the coordinator only aborts an
+		// attempt it gave up on, so ack idempotently and let the decision
+		// land.
 		p.mu.Unlock()
 		p.reply(m, comm.Message{Kind: comm.KindAbortReply, OK: true})
 		return
@@ -738,7 +801,7 @@ func (p *Participant) sweeper() {
 			switch {
 			case !tx.prepared && tx.prepDone == nil && idle > p.abandonAfter:
 				abandon = append(abandon, txn)
-			case tx.prepared && !tx.querying && idle > p.queryAfter:
+			case tx.prepared && !tx.querying && tx.decideDone == nil && idle > p.queryAfter:
 				tx.querying = true
 				query = append(query, inDoubtQuery{txn, tx})
 			}
@@ -770,8 +833,8 @@ func (p *Participant) resolveInDoubt(txn string, tx *ptxn) {
 		p.rpcTimeout, p.rpcRetries)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.txns[txn] != tx || !tx.prepared {
-		return // the queried attempt is gone or superseded; drop the answer
+	if p.txns[txn] != tx || !tx.prepared || tx.decideDone != nil {
+		return // the queried attempt is gone, superseded, or deciding; drop the answer
 	}
 	tx.querying = false
 	if err != nil || rep.Code == dcodeRetry {

@@ -115,12 +115,16 @@ func runE15Cell(p sched.Protocol, mix e15Mix, site e15Site, roots int) ([]any, e
 	defer os.RemoveAll(dir)
 
 	cl, err := sched.StartCluster(sched.DistConfig{
-		Protocol:   p,
-		Topo:       sched.BankTopology(),
-		NetFaults:  mix.plan,
-		WALRoot:    dir,
-		SyncEvery:  8,
-		RPCTimeout: 15 * time.Millisecond, RPCRetries: 3,
+		Protocol:  p,
+		Topo:      sched.BankTopology(),
+		NetFaults: mix.plan,
+		WALRoot:   dir,
+		SyncEvery: 8,
+		// E15 runs with the coalesced force path on: the whole chaos matrix
+		// re-proves atomicity and Comp-C with group commit + message
+		// coalescing enabled, not just the per-txn-fsync configuration.
+		GroupCommit: true,
+		RPCTimeout:  15 * time.Millisecond, RPCRetries: 3,
 		LockWait:     100 * time.Millisecond,
 		MaxRetries:   60,
 		AbandonAfter: 200 * time.Millisecond, QueryAfter: 40 * time.Millisecond,

@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func forceRec(i int) Record {
+	return Record{Type: TypeDecision, Txn: fmt.Sprintf("T%d", i), Mode: "commit"}
+}
+
+// A window holds many concurrent forces and serves them with fewer
+// fsyncs than forces; every waiter completes nil and every record is
+// durable.
+func TestForceCoalescesWindows(t *testing.T) {
+	dir := t.TempDir()
+	l, n, err := Open(dir, Options{SyncEvery: -1, GroupWindow: 2 * time.Millisecond})
+	if err != nil || n != 0 {
+		t.Fatalf("open: n=%d err=%v", n, err)
+	}
+	const forces = 32
+	chans := make([]<-chan error, forces)
+	for i := 0; i < forces; i++ {
+		chans[i] = l.Force([]Record{forceRec(i)})
+	}
+	for i, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatalf("force %d: %v", i, err)
+		}
+	}
+	gs := l.GroupStats()
+	if gs.Forces != forces || gs.ForcedRecords != forces {
+		t.Fatalf("stats %+v, want %d forces/records", gs, forces)
+	}
+	if gs.Windows == 0 || gs.Windows >= forces {
+		t.Fatalf("windows=%d not coalesced (forces=%d)", gs.Windows, forces)
+	}
+	if gs.MaxBatch < 2 {
+		t.Fatalf("maxbatch=%d, want >=2", gs.MaxBatch)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadAll(dir)
+	if err != nil || len(recs) != forces {
+		t.Fatalf("readall: %d recs err=%v", len(recs), err)
+	}
+}
+
+// GroupMaxRecords flushes an open window early — forces complete even
+// though the window itself would stay open for an hour.
+func TestForceMaxRecordsFlushesEarly(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: -1, GroupWindow: time.Hour, GroupMaxRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	chans := make([]<-chan error, 8)
+	for i := range chans {
+		chans[i] = l.Force([]Record{forceRec(i)})
+	}
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("force %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("force %d did not complete; GroupMaxRecords did not flush early", i)
+		}
+	}
+	if gs := l.GroupStats(); gs.Windows == 0 {
+		t.Fatalf("no flush window recorded: %+v", gs)
+	}
+}
+
+// Abandon (crash) with a group flush pending: every waiter observes an
+// error — never a false durability ack — and the records are gone after
+// reopen.
+func TestForceAbandonFailsPendingWaiters(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: -1, GroupWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chans []<-chan error
+	for i := 0; i < 3; i++ {
+		chans = append(chans, l.Force([]Record{forceRec(i)}))
+	}
+	if err := l.Abandon(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("waiter %d got %v, want ErrClosed", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d hung after Abandon", i)
+		}
+	}
+	if err := <-l.Force([]Record{forceRec(99)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("force after abandon: %v, want ErrClosed", err)
+	}
+	recs, _, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("reopen found %d records; unsynced group flush must be lost", len(recs))
+	}
+}
+
+// A sync triggered by any path (explicit Sync here) completes pending
+// waiters: their bytes are flushed and fsynced with the rest of the
+// buffer.
+func TestForceCompletedByExplicitSync(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: -1, GroupWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ch := l.Force([]Record{forceRec(0)})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("force: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("explicit Sync did not complete the pending force")
+	}
+}
+
+// Concurrent Append/Force/Sync traffic under -race, then Close: no
+// waiter hangs, no record is lost, the reopened log scans clean.
+func TestForceConcurrentAppendSyncClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 4, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 8
+		perWorker = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := l.Append(forceRec(w*1000 + i)); err != nil {
+						errs <- err
+					}
+				case 1:
+					errs <- <-l.Force([]Record{forceRec(w*1000 + i)})
+				default:
+					if err := l.Sync(); err != nil {
+						errs <- err
+					}
+					if _, err := l.Append(forceRec(w*1000 + i)); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent op: %v", err)
+		}
+	}
+	want := l.Records()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != want || info.TornBytes != 0 {
+		t.Fatalf("reopen: %d records (want %d), torn=%d", len(recs), want, info.TornBytes)
+	}
+}

@@ -20,6 +20,17 @@
 // fault injection: buffered-but-unsynced bytes are dropped — exactly the
 // OS-cache loss window group commit trades away — and an optional torn
 // frame is left at the tail.
+//
+// Cross-transaction group commit. Force appends records and returns a
+// completion channel instead of blocking the caller on its own fsync: a
+// flush daemon coalesces every force request pending at flush time into
+// one contiguous write + one fsync, and completes all of their waiters
+// together. The fsync itself runs outside the log mutex, so while one
+// window's fsync is in flight new forces keep appending and form the
+// next window — with Options.GroupWindow zero (the default) this is
+// "natural batching": a force never waits longer than the fsync already
+// in flight, and the batch size grows exactly as fast as the disk is
+// slow.
 package wal
 
 import (
@@ -32,6 +43,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -62,6 +74,17 @@ type Options struct {
 	// SegmentBytes rotates to a new segment file once the current one
 	// exceeds this size (0 = 8 MiB).
 	SegmentBytes int64
+
+	// GroupWindow holds the flush daemon open after a force request so
+	// later requests can join the same fsync. 0 (the default) is natural
+	// batching: the daemon flushes as soon as it is idle, adding no
+	// latency — requests still coalesce whenever a flush is already in
+	// flight, which is exactly when coalescing pays.
+	GroupWindow time.Duration
+	// GroupMaxRecords caps how many forced records may pile up inside an
+	// open GroupWindow before the daemon flushes early (0 = 512). Only
+	// meaningful with GroupWindow > 0.
+	GroupMaxRecords int
 }
 
 func (o Options) normalized() Options {
@@ -71,7 +94,18 @@ func (o Options) normalized() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = defaultSegmentBytes
 	}
+	if o.GroupMaxRecords <= 0 {
+		o.GroupMaxRecords = 512
+	}
 	return o
+}
+
+// GroupStats counts the flush daemon's coalescing work.
+type GroupStats struct {
+	Forces        uint64 // Force calls accepted
+	ForcedRecords uint64 // records appended through Force
+	Windows       uint64 // flush windows (one fsync each) serving >=1 force
+	MaxBatch      uint64 // most force waiters completed by a single window
 }
 
 // ScanInfo summarizes a ReadAll pass.
@@ -114,7 +148,22 @@ type Log struct {
 	// which segments are wholly older than a checkpoint.
 	segs []segMeta
 
-	closed bool
+	// Group-commit state. waiters are the Force callers whose records sit
+	// in the unsynced window; any successful syncLocked makes the whole
+	// window durable, so every pending waiter completes on every sync —
+	// including syncs triggered by SyncEvery, rotation or an explicit
+	// Sync, not just the daemon's.
+	waiters     []chan error
+	pendingRecs int
+	gstats      GroupStats
+	daemonOn    bool
+	daemonWG    sync.WaitGroup
+	kick        chan struct{} // buffered(1): work is pending
+	urgent      chan struct{} // buffered(1): flush now, skip the window
+	stopc       chan struct{}
+
+	closed    bool
+	abandoned bool // Abandon ran: the unsynced tail was truncated away
 }
 
 type segMeta struct {
@@ -334,6 +383,22 @@ func (l *Log) TruncateBefore(lsn uint64) (int, error) {
 }
 
 func (l *Log) appendLocked(rec Record) (uint64, error) {
+	lsn, err := l.appendRawLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.SyncEvery > 0 && l.sinceSyn >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// appendRawLocked frames the record into the buffer without applying the
+// SyncEvery policy — Force uses it so the flush daemon, not the appender,
+// pays the fsync.
+func (l *Log) appendRawLocked(rec Record) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
@@ -347,12 +412,156 @@ func (l *Log) appendLocked(rec Record) (uint64, error) {
 	l.size += int64(len(l.buf) - n)
 	l.lsn++
 	l.sinceSyn++
-	if l.opts.SyncEvery > 0 && l.sinceSyn >= l.opts.SyncEvery {
-		if err := l.syncLocked(); err != nil {
-			return 0, err
+	return l.lsn, nil
+}
+
+// Force appends recs contiguously and returns a channel that receives
+// exactly one error once the outcome is known: nil only after every
+// appended record is durable (fsynced), non-nil if the append failed, the
+// sync failed, or the log was closed/abandoned with the flush pending —
+// never a false durability ack. The flush daemon coalesces all forces
+// pending at flush time into one contiguous write + a single fsync, so N
+// concurrent forcers share O(1) fsyncs. A nil or empty recs forces the
+// log's current tail: the channel completes once everything appended so
+// far is durable.
+func (l *Log) Force(recs []Record) <-chan error {
+	ch := make(chan error, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ch <- ErrClosed
+		return ch
+	}
+	for _, rec := range recs {
+		if _, err := l.appendRawLocked(rec); err != nil {
+			l.mu.Unlock()
+			ch <- err
+			return ch
 		}
 	}
-	return l.lsn, nil
+	l.waiters = append(l.waiters, ch)
+	l.pendingRecs += len(recs)
+	l.gstats.Forces++
+	l.gstats.ForcedRecords += uint64(len(recs))
+	l.startDaemonLocked()
+	urgent := l.opts.GroupWindow > 0 && l.pendingRecs >= l.opts.GroupMaxRecords
+	kick, urgentc := l.kick, l.urgent
+	l.mu.Unlock()
+	if urgent {
+		select {
+		case urgentc <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case kick <- struct{}{}:
+	default:
+	}
+	return ch
+}
+
+// GroupStats reports the flush daemon's cumulative coalescing counters.
+func (l *Log) GroupStats() GroupStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gstats
+}
+
+func (l *Log) startDaemonLocked() {
+	if l.daemonOn {
+		return
+	}
+	l.daemonOn = true
+	l.kick = make(chan struct{}, 1)
+	l.urgent = make(chan struct{}, 1)
+	l.stopc = make(chan struct{})
+	l.daemonWG.Add(1)
+	go l.flushDaemon()
+}
+
+// flushDaemon serves Force requests: each iteration optionally holds a
+// GroupWindow open for more requests to join, then flushes one window.
+// With GroupWindow == 0 the window is the duration of the previous fsync
+// itself (natural batching).
+func (l *Log) flushDaemon() {
+	defer l.daemonWG.Done()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-l.urgent:
+		case <-l.kick:
+			if w := l.opts.GroupWindow; w > 0 {
+				t := time.NewTimer(w)
+				select {
+				case <-l.stopc:
+					t.Stop()
+					return
+				case <-l.urgent:
+					t.Stop()
+				case <-t.C:
+				}
+			}
+		}
+		l.flushGroup()
+	}
+}
+
+// flushGroup serves one window. The pending cohort is captured and its
+// bytes written to the segment file under the mutex (cheap); the fsync
+// runs with the mutex RELEASED, so concurrent forces keep appending and
+// accumulate into the next window while the disk works — the pipelining
+// that makes natural batching actually batch. After the fsync the cohort
+// completes with the outcome, reconciled under the mutex against
+// whatever raced with it:
+//
+//   - rotation closed the captured segment: rotateLocked fsyncs before it
+//     closes, so the cohort was durable first and a Sync error on the dead
+//     fd is ignored;
+//   - Close fsynced and closed the fd: same reasoning, l.synced already
+//     covers the cohort;
+//   - Abandon truncated the unsynced tail: the cohort's records are gone
+//     regardless of what our Sync returned, so the waiters get ErrClosed —
+//     never a false durability ack.
+func (l *Log) flushGroup() {
+	l.mu.Lock()
+	if l.closed || len(l.waiters) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	waiters := l.waiters
+	l.waiters = nil
+	l.pendingRecs = 0
+	l.gstats.Windows++
+	if n := uint64(len(waiters)); n > l.gstats.MaxBatch {
+		l.gstats.MaxBatch = n
+	}
+	err := l.flushLocked()
+	f, seg, target := l.f, l.seg, l.flushed
+	needSync := err == nil && l.synced < target
+	l.mu.Unlock()
+
+	if needSync {
+		serr := f.Sync()
+		l.mu.Lock()
+		switch {
+		case l.abandoned:
+			err = ErrClosed
+		case serr == nil:
+			if l.seg == seg && target > l.synced {
+				l.synced = target
+			}
+		case l.seg != seg || l.synced >= target:
+			// Another sync path already made the cohort durable before our
+			// Sync failed on the rotated-away or closed fd.
+		default:
+			err = serr
+		}
+		l.mu.Unlock()
+	}
+	for _, ch := range waiters {
+		ch <- err
+	}
 }
 
 // Sync flushes buffered frames and fsyncs the current segment.
@@ -377,7 +586,25 @@ func (l *Log) flushLocked() error {
 	return nil
 }
 
+// syncLocked flushes the whole buffer and fsyncs. Because the buffer is
+// drained in append order, a successful sync makes every previously
+// appended record durable — so all pending Force waiters complete here,
+// whichever path triggered the sync (daemon window, SyncEvery, rotation,
+// explicit Sync, Close). On failure the waiters get the error: durability
+// is unknown, and recovery decides.
 func (l *Log) syncLocked() error {
+	err := l.doSyncLocked()
+	if len(l.waiters) > 0 {
+		for _, ch := range l.waiters {
+			ch <- err
+		}
+		l.waiters = nil
+		l.pendingRecs = 0
+	}
+	return err
+}
+
+func (l *Log) doSyncLocked() error {
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
@@ -426,11 +653,12 @@ func (l *Log) createSegment(idx int) error {
 	return nil
 }
 
-// Close flushes, fsyncs and closes the log.
+// Close flushes, fsyncs and closes the log. Pending Force waiters
+// complete through the final sync; the flush daemon is stopped.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	err := l.syncLocked()
@@ -438,6 +666,14 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.closed = true
+	daemonOn := l.daemonOn
+	if daemonOn {
+		close(l.stopc)
+	}
+	l.mu.Unlock()
+	if daemonOn {
+		l.daemonWG.Wait()
+	}
 	return err
 }
 
@@ -451,12 +687,31 @@ func (l *Log) Close() error {
 // intended loss window.
 func (l *Log) Abandon(torn *Record) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	defer func() {
+		daemonOn := l.daemonOn
+		l.mu.Unlock()
+		if daemonOn {
+			l.daemonWG.Wait()
+		}
+	}()
 	if l.closed {
 		return nil
 	}
 	l.closed = true
+	l.abandoned = true
 	l.buf = nil
+	// A crash with a group flush pending: the records are gone, so the
+	// waiters must see an error — never a false durability ack. A cohort
+	// whose fsync is in flight right now (captured by flushGroup) is
+	// failed by the daemon's abandoned check instead.
+	for _, ch := range l.waiters {
+		ch <- ErrClosed
+	}
+	l.waiters = nil
+	l.pendingRecs = 0
+	if l.daemonOn {
+		close(l.stopc)
+	}
 	err := l.f.Truncate(l.synced)
 	if torn != nil {
 		frame := appendFrame(nil, *torn)
