@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race chaos crash mvcc soak net distperf bench benchsmoke experiments clean
+.PHONY: all build test verify race chaos crash mvcc soak net distperf certperf bench benchsmoke experiments clean
 
 all: build test
 
@@ -79,6 +79,17 @@ distperf:
 	$(GO) test -race -count=1 -run 'TestForce|TestAbandon' ./internal/wal
 	$(GO) test -count=1 -run 'TestE16' ./internal/sim
 
+# certperf runs the certifier-pipeline gate: the byte-identity property
+# suite under the race detector (pipelined/fast-path admission must leave
+# the certified system byte-identical to the always-admit engine, plus
+# rejection-rebuild and WAL-ordering regressions), and the E17 throughput
+# gate (the pipeline must certify at >=2x the serial baseline at 8
+# clients on the <=10%-conflict mix, with the fast path actually taken).
+# The E17 gate is not under -race: it measures wall-clock throughput.
+certperf:
+	$(GO) test -race -count=1 -run 'TestCertify|TestPipeline|TestAbsorb' ./internal/sched ./internal/front
+	$(GO) test -count=1 -run 'TestE17' ./internal/sim
+
 # bench regenerates BENCH_checker.json: the E1/E2/E7 tables, the E10
 # chaos-recovery, E11 crash-matrix, E12 online-certification, E13
 # MVCC-vs-lock, E14 bounded-memory checkpoint, E15 network-chaos and E16
@@ -88,9 +99,11 @@ distperf:
 # append under each group-commit setting, full crash recovery, E14
 # tail/recovery growth across the horizon spread, end-to-end 2PC latency
 # per transport, E16 group-commit vs per-txn-fsync throughput at 64
-# concurrent clients). See DESIGN.md §7.1.
+# concurrent clients, E17 certified commit throughput per certifier mode
+# with uncertified-baseline cells and the pipeline-vs-serial speedup and
+# certification-overhead ratios). See DESIGN.md §7.1.
 bench:
-	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14,E15,E16 -json BENCH_checker.json
+	$(GO) run ./cmd/compbench -only E1,E2,E7,E10,E11,E12,E13,E14,E15,E16,E17 -json BENCH_checker.json
 
 # benchsmoke runs every benchmark for exactly one iteration — a CI smoke
 # test that the bench harness still compiles and completes, not a
@@ -98,7 +111,7 @@ bench:
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# experiments regenerates every E1-E16 table on stdout.
+# experiments regenerates every E1-E17 table on stdout.
 experiments:
 	$(GO) run ./cmd/compbench
 

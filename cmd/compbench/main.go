@@ -1,5 +1,5 @@
 // Command compbench regenerates every experiment artifact of the
-// reproduction (E1–E16 in DESIGN.md §7 / EXPERIMENTS.md) as text tables.
+// reproduction (E1–E17 in DESIGN.md §7 / EXPERIMENTS.md) as text tables.
 //
 // Usage:
 //
@@ -13,7 +13,9 @@
 // each group-commit setting, full crash recovery, the E13 MVCC-vs-lock
 // curve cells, the E14 bounded-memory checkpoint soak, end-to-end
 // 2PC latency per transport for E15, and the E16 sustained distributed
-// throughput cells at 64 concurrent clients) are also written to the
+// throughput cells at 64 concurrent clients, and the E17 certified
+// commit throughput cells at 8 clients across the conflict spread) are
+// also written to the
 // given file; the repository keeps the result as BENCH_checker.json so
 // the perf trajectory is machine-readable across PRs.
 package main
@@ -84,7 +86,7 @@ type benchDoc struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E16)")
+	only := flag.String("only", "", "run a subset of experiments, comma-separated (E1..E17)")
 	samples := flag.Int("samples", 0, "override sample count for statistical experiments")
 	jsonOut := flag.String("json", "", "also write tables + checker benchmarks to this file as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,8 +113,9 @@ func main() {
 		"E14": func() *sim.Table { return sim.E14Checkpoint(sim.DefaultCheckpointConfig()) },
 		"E15": func() *sim.Table { return sim.E15NetChaos(sim.DefaultNetChaosConfig()) },
 		"E16": func() *sim.Table { return sim.E16DistThroughput(sim.DefaultDistPerfConfig()) },
+		"E17": func() *sim.Table { return sim.E17CertThroughput(sim.DefaultCertPerfConfig()) },
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	if *only != "" {
 		ids = nil
 		for _, id := range strings.Split(*only, ",") {
@@ -140,7 +143,7 @@ func main() {
 		doc := benchDoc{
 			CPUs:       runtime.NumCPU(),
 			Tables:     tables,
-			Benchmarks: append(append(append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...), sim.DistBenchmarks()...), sim.DistPerfBenchmarks()...),
+			Benchmarks: append(append(append(append(append(append(append(sim.CheckerBenchmarks(), sim.IncrementalBenchmarks()...), sim.WALBenchmarks()...), sim.MVCCBenchmarks()...), sim.CheckpointBenchmarks()...), sim.DistBenchmarks()...), sim.DistPerfBenchmarks()...), sim.CertPerfBenchmarks()...),
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {

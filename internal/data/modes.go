@@ -7,6 +7,13 @@ import "sort"
 // commute). Operations on different items never conflict.
 type ModeTable struct {
 	conflicts map[[2]Mode]bool
+
+	// Interned read-path mirror of the map: mode i conflicts with mode j
+	// iff bit j of bits[i] is set. Tables hold a handful of modes and are
+	// static after construction, so the hot ModeConflicts path is a short
+	// linear intern scan plus a bit test — no string-pair hashing.
+	modes []Mode
+	bits  []uint64
 }
 
 // NewModeTable returns an empty table (everything commutes). Use Declare
@@ -22,9 +29,35 @@ func canonicalModes(a, b Mode) [2]Mode {
 	return [2]Mode{a, b}
 }
 
+func (t *ModeTable) intern(m Mode) int {
+	for i, x := range t.modes {
+		if x == m {
+			return i
+		}
+	}
+	if len(t.modes) == 64 {
+		panic("data: ModeTable supports at most 64 distinct modes")
+	}
+	t.modes = append(t.modes, m)
+	t.bits = append(t.bits, 0)
+	return len(t.modes) - 1
+}
+
+func (t *ModeTable) lookup(m Mode) int {
+	for i, x := range t.modes {
+		if x == m {
+			return i
+		}
+	}
+	return -1
+}
+
 // Declare marks two modes as conflicting (in both orders).
 func (t *ModeTable) Declare(a, b Mode) *ModeTable {
 	t.conflicts[canonicalModes(a, b)] = true
+	ia, ib := t.intern(a), t.intern(b)
+	t.bits[ia] |= 1 << uint(ib)
+	t.bits[ib] |= 1 << uint(ia)
 	return t
 }
 
@@ -38,8 +71,14 @@ func (t *ModeTable) Conflicts(a, b Op) bool {
 }
 
 // ModeConflicts reports whether two modes are declared conflicting.
+// Undeclared modes conflict with nothing.
 func (t *ModeTable) ModeConflicts(a, b Mode) bool {
-	return t.conflicts[canonicalModes(a, b)]
+	ia := t.lookup(a)
+	if ia < 0 {
+		return false
+	}
+	ib := t.lookup(b)
+	return ib >= 0 && t.bits[ia]&(1<<uint(ib)) != 0
 }
 
 // SemanticTable is the full-knowledge specification for the integer store:

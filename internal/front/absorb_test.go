@@ -1,0 +1,150 @@
+package front_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"compositetx/internal/front"
+	"compositetx/internal/model"
+	"compositetx/internal/workload"
+)
+
+// encodeSys renders a system to its canonical byte encoding (sorted
+// nodes, schedules and relation pairs), the equality the fast-path
+// contract is stated in.
+func encodeSys(t *testing.T, sys *model.System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestAbsorbNodesMatchesAdmit replays commit-by-commit streams through
+// two engines — one taking the AbsorbNodes fast path whenever a delta is
+// nodes-only, one always running full Admit — and asserts the two stay
+// byte-identical after every delta and return identical verdicts. This
+// is the engine-level half of the certifier's fast-path soundness
+// argument (the sched package property-tests the runtime half).
+func TestAbsorbNodesMatchesAdmit(t *testing.T) {
+	absorbed, admitted := 0, 0
+	for _, cr := range []float64{0, 0.2, 0.6} {
+		for seed := int64(1); seed <= 4; seed++ {
+			sys := workload.Stack(workload.StackParams{
+				Levels: 2, Roots: 4, Fanout: 2, ConflictRate: cr, Seed: seed,
+			}).Sys
+			fast := front.NewIncremental(front.IncrementalOptions{})
+			oracle := front.NewIncremental(front.IncrementalOptions{})
+			for i, d := range front.DecomposeByRoot(sys) {
+				tag := fmt.Sprintf("cr%.1f/seed%d/delta%d", cr, seed, i)
+				// Deltas are applied destructively to the engine's system, so
+				// each engine gets its own copy.
+				dCopy := *d
+				var fastV *front.Verdict
+				err := fast.AbsorbNodes(&dCopy)
+				switch {
+				case err == nil:
+					absorbed++
+				case errors.Is(err, front.ErrNotNodesOnly):
+					v, aerr := fast.Admit(&dCopy)
+					if aerr != nil {
+						t.Fatalf("%s: fast Admit: %v", tag, aerr)
+					}
+					fastV = v
+					admitted++
+				default:
+					t.Fatalf("%s: AbsorbNodes: %v", tag, err)
+				}
+				oracleV, aerr := oracle.Admit(d)
+				if aerr != nil {
+					t.Fatalf("%s: oracle Admit: %v", tag, aerr)
+				}
+				if (fastV == nil) != (oracleV == nil) {
+					t.Fatalf("%s: verdicts diverged: fast=%v oracle=%v", tag, fastV, oracleV)
+				}
+				if fastV != nil && fastV.Reason != oracleV.Reason {
+					t.Fatalf("%s: violation reasons diverged: fast=%q oracle=%q", tag, fastV.Reason, oracleV.Reason)
+				}
+				got, want := encodeSys(t, fast.System()), encodeSys(t, oracle.System())
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: fast-path system diverged from always-admit oracle:\nfast:   %s\noracle: %s", tag, got, want)
+				}
+				if fast.LiveNodes() != oracle.LiveNodes() {
+					t.Fatalf("%s: live nodes diverged: fast %d, oracle %d", tag, fast.LiveNodes(), oracle.LiveNodes())
+				}
+			}
+		}
+	}
+	if absorbed == 0 || admitted == 0 {
+		t.Fatalf("sweep must exercise both paths: %d absorbed, %d admitted", absorbed, admitted)
+	}
+}
+
+// TestAbsorbNodesIneligibility pins the ErrNotNodesOnly sentinel cases:
+// engine not yet admitted to, a delta carrying schedules or pairs, and a
+// nodes-only delta introducing an invocation edge the accumulated IG has
+// not seen. None of them may mutate the engine.
+func TestAbsorbNodesIneligibility(t *testing.T) {
+	inc := front.NewIncremental(front.IncrementalOptions{})
+	nodesOnly := &front.Delta{Nodes: []front.DeltaNode{{ID: "t1", Sched: "S"}}}
+	if err := inc.AbsorbNodes(nodesOnly); !errors.Is(err, front.ErrNotNodesOnly) {
+		t.Fatalf("engine with no admission yet: got %v, want ErrNotNodesOnly", err)
+	}
+
+	seed := &front.Delta{
+		Schedules: []model.ScheduleID{"S", "T"},
+		Nodes: []front.DeltaNode{
+			{ID: "t1", Sched: "S"},
+			{ID: "t1.a", Parent: "t1", Sched: "T"},
+		},
+	}
+	if v, err := inc.Admit(seed); err != nil || v != nil {
+		t.Fatalf("seed admit: verdict=%v err=%v", v, err)
+	}
+
+	withSched := &front.Delta{
+		Schedules: []model.ScheduleID{"U"},
+		Nodes:     []front.DeltaNode{{ID: "t2", Sched: "U"}},
+	}
+	if err := inc.AbsorbNodes(withSched); !errors.Is(err, front.ErrNotNodesOnly) {
+		t.Fatalf("delta with schedules: got %v, want ErrNotNodesOnly", err)
+	}
+	withPair := &front.Delta{
+		Nodes:     []front.DeltaNode{{ID: "t2", Sched: "S"}, {ID: "t2.x", Parent: "t2"}},
+		Conflicts: []front.DeltaPair{{Sched: "S", A: "t1.a", B: "t2.x"}},
+	}
+	if err := inc.AbsorbNodes(withPair); !errors.Is(err, front.ErrNotNodesOnly) {
+		t.Fatalf("delta with pairs: got %v, want ErrNotNodesOnly", err)
+	}
+	// S invoking S is an edge the IG has not seen (only S→T so far).
+	newEdge := &front.Delta{
+		Nodes: []front.DeltaNode{
+			{ID: "t3", Sched: "S"},
+			{ID: "t3.a", Parent: "t3", Sched: "S"},
+		},
+	}
+	if err := inc.AbsorbNodes(newEdge); !errors.Is(err, front.ErrNotNodesOnly) {
+		t.Fatalf("delta with new invocation edge: got %v, want ErrNotNodesOnly", err)
+	}
+	if n := inc.LiveNodes(); n != 2 {
+		t.Fatalf("rejected absorptions mutated the engine: %d live nodes, want 2", n)
+	}
+
+	// The eligible shape still works after the rejections, and a
+	// structurally invalid delta surfaces the validation error, not the
+	// sentinel.
+	ok := &front.Delta{Nodes: []front.DeltaNode{
+		{ID: "t4", Sched: "S"},
+		{ID: "t4.a", Parent: "t4", Sched: "T"},
+	}}
+	if err := inc.AbsorbNodes(ok); err != nil {
+		t.Fatalf("eligible delta: %v", err)
+	}
+	bad := &front.Delta{Nodes: []front.DeltaNode{{ID: "t4", Sched: "S"}}}
+	if err := inc.AbsorbNodes(bad); err == nil || errors.Is(err, front.ErrNotNodesOnly) {
+		t.Fatalf("re-declared node: got %v, want a validation error", err)
+	}
+}

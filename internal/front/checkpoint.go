@@ -113,15 +113,18 @@ func (inc *Incremental) Checkpoint(roots []model.NodeID) (*CheckpointSummary, er
 		sum.Boundary = inc.foldBoundary(doomed)
 	}
 
-	for id := range seen {
-		inc.sys.RemoveTree(id)
-	}
+	inc.sys.RemoveTrees(roots)
 	// Rebuild over the pruned system. The level assignment is untouched
-	// (schedules persist through a fold), so this is the same compaction a
-	// level-change rebuild performs: fresh arrival-order interning, fresh
-	// per-level closures, sized to the live suffix.
+	// (schedules persist through a fold), so the engine's skeleton is
+	// still valid: reset it in place (keeping the interning map, row
+	// tables and grown rows) and replay the live suffix — a fold on a
+	// steady-state window then allocates almost nothing.
 	if inc.eng != nil {
-		inc.eng = newIncEngine(inc, inc.levels)
+		if inc.eng.failed {
+			inc.eng = newIncEngine(inc, inc.levels)
+		} else {
+			inc.eng.reset()
+		}
 		inc.eng.apply(SystemDelta(inc.sys))
 		if inc.eng.failed {
 			// Cannot happen: removing whole composite transactions from a

@@ -1,6 +1,7 @@
 package front
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,105 @@ func (inc *Incremental) Append(d *Delta) (*Verdict, error) {
 // violation it returns the full failure verdict.
 func (inc *Incremental) Admit(d *Delta) (*Verdict, error) {
 	return inc.append(d, false)
+}
+
+// ErrNotNodesOnly reports a delta AbsorbNodes cannot take: it carries
+// schedules or relation pairs, names an invocation edge the accumulated
+// IG has not seen, or the engine is not ready (no admission yet, or
+// degraded). The caller should fall back to Admit.
+var ErrNotNodesOnly = errors.New("front: delta is not an engine-ready nodes-only extension")
+
+// AbsorbNodes applies a nodes-only delta without running the admission
+// machinery: no schedules, no relation pairs, and every invocation edge
+// already in the accumulated IG. Such a delta cannot change the level
+// assignment and contributes no generating pair to any level queue, so
+// Admit of the same delta would validate it, apply it to the system, add
+// each node to the engine, and then drain empty queues — absorption
+// performs exactly the first three and leaves the engine byte-identical
+// to the Admit path (an empty extension is trivially Comp-C: a correct
+// history stays correct when a transaction touching nothing conflicting
+// is appended). This is the certifier's footprint-disjointness fast path.
+//
+// Ineligible deltas return ErrNotNodesOnly with nothing changed; a
+// structurally invalid delta returns the validation error, like Admit.
+func (inc *Incremental) AbsorbNodes(d *Delta) error {
+	if !inc.NodesOnlyEligible(d) {
+		return ErrNotNodesOnly
+	}
+	if err := validateDelta(inc.sys, d); err != nil {
+		return err
+	}
+	d.Apply(inc.sys)
+	inc.eng.ensureCap(len(inc.eng.ids) + len(d.Nodes))
+	for _, n := range d.Nodes {
+		inc.eng.addNode(n)
+	}
+	return nil
+}
+
+// NodesOnlyEligible reports whether AbsorbNodes would take d: the engine
+// is ready, the delta carries no schedules and no relation pairs, and
+// every invocation edge it exercises is already in the accumulated IG (a
+// new edge could change the level assignment, which only a full append
+// handles). It validates nothing and applies nothing — the certifier
+// uses it to park a disjoint stage for lazy absorption: such a stage
+// adds only isolated vertices to every constraint relation, so the
+// engine does not need it until a later admission references one of its
+// nodes.
+func (inc *Incremental) NodesOnlyEligible(d *Delta) bool {
+	if inc.failed || inc.eng == nil {
+		return false
+	}
+	if len(d.Schedules)+len(d.Conflicts)+len(d.WeakOut)+len(d.StrongOut)+
+		len(d.WeakIn)+len(d.StrongIn)+len(d.Intra) != 0 {
+		return false
+	}
+	// A stage exercises very few distinct invocation edges; memoizing the
+	// ones already confirmed spares the per-node relation lookups.
+	var seen [4][2]model.ScheduleID
+	ns := 0
+	for _, n := range d.Nodes {
+		if n.Sched == "" || n.Parent == "" {
+			continue
+		}
+		// Stage deltas are small: a linear parent scan beats building a map.
+		var caller model.ScheduleID
+		found := false
+		for j := range d.Nodes {
+			if d.Nodes[j].ID == n.Parent {
+				caller, found = d.Nodes[j].Sched, true
+				break
+			}
+		}
+		if !found {
+			nd := inc.sys.Node(n.Parent)
+			if nd == nil {
+				return false // malformed; let full admission report it
+			}
+			caller = nd.Sched
+		}
+		if caller == "" {
+			continue
+		}
+		hit := false
+		for k := 0; k < ns; k++ {
+			if seen[k][0] == caller && seen[k][1] == n.Sched {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if !inc.ig.Has(caller, n.Sched) {
+			return false
+		}
+		if ns < len(seen) {
+			seen[ns] = [2]model.ScheduleID{caller, n.Sched}
+			ns++
+		}
+	}
+	return true
 }
 
 func (inc *Incremental) append(d *Delta, full bool) (*Verdict, error) {
@@ -268,6 +368,14 @@ func newIncEngine(inc *Incremental, levels map[model.ScheduleID]int) *incEngine 
 		idx:      map[model.NodeID]int32{},
 		capN:     64,
 	}
+	// Carry the previous engine's capacity high-water mark across
+	// rebuilds (level changes and checkpoint folds). Bitset rows are
+	// allocated lazily, so the wide capacity costs only the live rows'
+	// width — but it spares every rebuilt engine the doubling ladder of
+	// full-row re-widenings as the next fold window refills.
+	if inc.eng != nil && inc.eng.capN > eng.capN {
+		eng.capN = inc.eng.capN
+	}
 	for _, l := range levels {
 		if l > eng.orderN {
 			eng.orderN = l
@@ -314,6 +422,52 @@ func newIncEngine(inc *Incremental, levels map[model.ScheduleID]int) *incEngine 
 		eng.lv[l] = st
 	}
 	return eng
+}
+
+// reset returns the engine to its empty state in place, keeping every
+// allocated structure — the interning map's buckets, the row tables and
+// the grown bitset rows — for the replay that follows a checkpoint
+// fold. Valid only while the level assignment is unchanged: the
+// per-schedule and per-level skeletons (and capN, so row widths stay
+// consistent) are retained, which spares the fold both the ~dozens of
+// fresh relation allocations and the doubling ladder of row
+// re-widenings as the next window refills.
+func (eng *incEngine) reset() {
+	used := len(eng.ids)
+	eng.failed = false
+	eng.ids = eng.ids[:0]
+	clear(eng.idx)
+	eng.parent = eng.parent[:0]
+	eng.sched = eng.sched[:0]
+	eng.opSched = eng.opSched[:0]
+	eng.entry = eng.entry[:0]
+	eng.exitL = eng.exitL[:0]
+	clear(eng.isLeaf)
+	eng.children = eng.children[:0]
+	eng.rootCount = 0
+	eng.conf.Reset(used)
+	for s := range eng.schedIDs {
+		clear(eng.ops[s])
+		eng.txs[s] = eng.txs[s][:0]
+		eng.confDecl[s].Reset(used)
+		eng.confOut[s].Reset(used)
+		eng.weakOutC[s].Reset(used)
+		eng.weakInC[s].Reset(used)
+		eng.strongInC[s].Reset(used)
+		eng.intraC[s].Reset(used)
+	}
+	for _, st := range eng.lv {
+		clear(st.nodes)
+		st.obs.Reset(used)
+		st.cc.Reset(used)
+		st.con.Reset(used)
+		st.weakIn.Reset(used)
+		st.strongIn.Reset(used)
+		if st.e != nil {
+			st.e.Reset(used)
+			st.q.Reset(used)
+		}
+	}
 }
 
 // ensureCap widens every index-space structure to hold n nodes. All

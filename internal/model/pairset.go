@@ -54,6 +54,21 @@ func (p *PairSet) RemoveInvolving(n NodeID) {
 	}
 }
 
+// RemoveInvolvingSet deletes every pair with an endpoint in set — one
+// sweep over the pairs regardless of the set's size (RemoveInvolving
+// per node would sweep once per node).
+func (p *PairSet) RemoveInvolvingSet(set map[NodeID]struct{}) {
+	for k := range p.m {
+		if _, ok := set[k[0]]; ok {
+			delete(p.m, k)
+			continue
+		}
+		if _, ok := set[k[1]]; ok {
+			delete(p.m, k)
+		}
+	}
+}
+
 // Len returns the number of pairs.
 func (p *PairSet) Len() int { return len(p.m) }
 

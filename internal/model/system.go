@@ -329,38 +329,49 @@ func (s *System) Normalize() {
 // leaves a well-formed execution (it only removes constraints), which the
 // property tests use: pruning a correct execution keeps it correct.
 func (s *System) RemoveTree(root NodeID) {
-	n := s.nodes[root]
-	if n == nil {
+	s.RemoveTrees([]NodeID{root})
+}
+
+// RemoveTrees deletes several subtrees at once. It is equivalent to
+// RemoveTree per root but sweeps each relation and conflict set a single
+// time for the whole batch — the checkpoint fold removes every committed
+// root together, and per-root sweeps would make the fold quadratic.
+func (s *System) RemoveTrees(roots []NodeID) {
+	set := make(map[NodeID]struct{})
+	for _, root := range roots {
+		n := s.nodes[root]
+		if n == nil {
+			continue
+		}
+		set[root] = struct{}{}
+		for _, id := range s.Descendants(root) {
+			set[id] = struct{}{}
+		}
+		if n.Parent != "" {
+			kids := s.children[n.Parent]
+			kept := kids[:0]
+			for _, k := range kids {
+				if k != root {
+					kept = append(kept, k)
+				}
+			}
+			s.children[n.Parent] = kept
+		}
+	}
+	if len(set) == 0 {
 		return
 	}
-	doomed := append([]NodeID{root}, s.Descendants(root)...)
-	set := make(map[NodeID]struct{}, len(doomed))
-	for _, id := range doomed {
-		set[id] = struct{}{}
-	}
-	if n.Parent != "" {
-		kids := s.children[n.Parent]
-		kept := kids[:0]
-		for _, k := range kids {
-			if k != root {
-				kept = append(kept, k)
-			}
-		}
-		s.children[n.Parent] = kept
-	}
-	for _, id := range doomed {
+	for id := range set {
 		delete(s.nodes, id)
 		delete(s.children, id)
 	}
 	s.interner = nil
 	for _, sc := range s.schedules {
-		for id := range set {
-			sc.Conflicts.RemoveInvolving(id)
-			sc.WeakIn.RemoveNode(id)
-			sc.StrongIn.RemoveNode(id)
-			sc.WeakOut.RemoveNode(id)
-			sc.StrongOut.RemoveNode(id)
-		}
+		sc.Conflicts.RemoveInvolvingSet(set)
+		sc.WeakIn.RemoveNodes(set)
+		sc.StrongIn.RemoveNodes(set)
+		sc.WeakOut.RemoveNodes(set)
+		sc.StrongOut.RemoveNodes(set)
 	}
 }
 

@@ -165,6 +165,18 @@ func (r *IndexRelation) MutRow(i int) Bitset {
 	return r.rows[i]
 }
 
+// Reset removes every pair in place, keeping the row table and every
+// allocated row for reuse. Only rows [0, used) are cleared — the
+// caller's node high-water mark; rows past it were never touched.
+func (r *IndexRelation) Reset(used int) {
+	if used > len(r.rows) {
+		used = len(r.rows)
+	}
+	for _, row := range r.rows[:used] {
+		clear(row)
+	}
+}
+
 // Len returns the number of pairs.
 func (r *IndexRelation) Len() int {
 	n := 0
@@ -348,6 +360,12 @@ func (c *ClosedRelation) Insert(a, b int) {
 	sources.Set(a)
 	sources.Each(func(x int) { c.succ.MutRow(x).Or(targets) })
 	targets.Each(func(y int) { c.pred.MutRow(y).Or(sources) })
+}
+
+// Reset removes every pair in place; see IndexRelation.Reset.
+func (c *ClosedRelation) Reset(used int) {
+	c.succ.Reset(used)
+	c.pred.Reset(used)
 }
 
 // Has reports whether (a, b) is in the closure.

@@ -82,6 +82,26 @@ func (r *Relation[T]) RemoveNode(n T) {
 	}
 }
 
+// RemoveNodes deletes every identifier in set and every pair involving
+// one — a single sweep over the successor rows regardless of the set's
+// size (RemoveNode per node would sweep once per node).
+func (r *Relation[T]) RemoveNodes(set map[T]struct{}) {
+	for n := range set {
+		delete(r.nodes, n)
+		delete(r.succ, n)
+	}
+	for a, s := range r.succ {
+		for b := range s {
+			if _, doomed := set[b]; doomed {
+				delete(s, b)
+			}
+		}
+		if len(s) == 0 {
+			delete(r.succ, a)
+		}
+	}
+}
+
 // Has reports whether the pair (a, b) is in the relation.
 func (r *Relation[T]) Has(a, b T) bool {
 	s, ok := r.succ[a]

@@ -3,8 +3,13 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"compositetx/internal/data"
 	"compositetx/internal/front"
 	"compositetx/internal/model"
 )
@@ -18,9 +23,49 @@ import (
 // is rejected at the commit point with the checker's violation witness,
 // instead of being detected post-hoc; the transaction is rolled back like
 // a client abort and the committed history stays Comp-C by construction.
+//
+// Certification is a three-stage pipeline that never touches Runtime.mu:
+//
+//  1. Out-of-lock delta construction. The committing goroutine orders its
+//     stage's node declarations (children-map topological emit), sorts its
+//     events, and derives every conflict pair — intra-stage pairs by a
+//     seq-ascending sweep, cross-stage pairs by probing the sharded
+//     conflict index at an epoch-stamped snapshot. No lock serializes this
+//     work across committers.
+//  2. Ticketed admission. Tickets enqueue in arrival order and a drainer
+//     goroutine (spawned on demand, exits when the queue runs dry) admits
+//     them one by one under the certifier's own mutex — the admission
+//     order is the certified commit order. Admission first reconciles the
+//     pairs added between the ticket's snapshot epoch and now; the
+//     committer meanwhile blocks on its per-ticket result channel, so
+//     delta construction and WAL work of other commits overlap admission.
+//  3. Footprint-disjointness fast path. A stage with zero cross-
+//     transaction conflict pairs, no new schedule and no new invocation
+//     edge extends the history trivially (an empty delta is trivially
+//     Comp-C — it adds only isolated vertices to every constraint
+//     relation): instead of engine admission it is parked in the pending
+//     set, its events entering only the conflict index. A later
+//     conflicting admission flushes the parked stages its pairs
+//     reference (front.Incremental.AbsorbNodes, still no admission
+//     machinery); a stage that reaches the next checkpoint fold
+//     unreferenced is dropped with the fold and never touches the engine
+//     at all. Disjoint and read-mostly workloads pay near-zero
+//     serialized certification cost.
+//
+// A rejection poisons the incremental engine (incorrectness is monotone);
+// recovery rebuilds a fresh engine by replaying the *admitted delta tail*
+// since the last checkpoint fold — no event re-sorting, no re-pairing,
+// and no Runtime.mu held, so an O(history) stall per reject became
+// O(tail-since-fold).
 
 // ErrCertifyViolation is the sentinel every CertifyError unwraps to.
 var ErrCertifyViolation = errors.New("sched: commit rejected by certifier")
+
+// ErrCertifyAfterWAL rejects EnableCertify on a runtime that already has
+// a WAL attached: the log's metadata record was journaled without the
+// certify flag, so recovering that log would silently come back
+// uncertified. Enable certification first, then the WAL.
+var ErrCertifyAfterWAL = errors.New("sched: EnableCertify after EnableWAL (journaled metadata would not record certify mode)")
 
 // CertifyError reports a commit rejected by the online certifier,
 // carrying the full Comp-C failure verdict as the violation witness.
@@ -38,101 +83,399 @@ func (e *CertifyError) Error() string {
 
 func (e *CertifyError) Unwrap() error { return ErrCertifyViolation }
 
-// certifier is the runtime's online Comp-C certifier. All access is
-// serialized under Runtime.mu: admits are part of the commit critical
-// section, so the admitted order is the commit order.
-type certifier struct {
-	inc *front.Incremental
-
-	// scheds tracks the component schedules already declared to the engine.
-	scheds map[string]bool
-	// index holds the admitted conflict-relevant events per (component,
-	// item) — the pairs a committing event must be checked against.
-	index map[string][]event
-
-	// The full admitted log. A rejection poisons the incremental engine
-	// (incorrectness is monotone), so the certifier rebuilds a clean
-	// engine from this log to keep certifying subsequent commits.
-	nodes  []nodeDecl
-	events []event
-}
-
-func newCertifier() *certifier {
-	return &certifier{
-		// PropagateInputs mirrors RecordedSystem's Definition 4 item 7
-		// propagation, so the certified history matches the recorder.
-		inc:    front.NewIncremental(front.IncrementalOptions{PropagateInputs: true}),
-		scheds: map[string]bool{},
-		index:  map[string][]event{},
-	}
+// CertifyOptions tunes the certification pipeline. Set Runtime.CertOpts
+// before EnableCertify.
+type CertifyOptions struct {
+	// Serial restores the pre-pipeline commit path: delta construction and
+	// admission run inline under the runtime mutex, with the fast path
+	// disabled too — the faithful PR-4 baseline the E17 comparison
+	// measures against. Never faster.
+	Serial bool
+	// NoFastPath disables the footprint-disjointness fast path, forcing
+	// every admitted stage through the full engine admission (the
+	// always-admit reference the byte-identity property tests compare
+	// against).
+	NoFastPath bool
 }
 
 func certKey(comp, item string) string { return comp + "\x00" + item }
 
-// admit decides one staged record against the admitted history. It
-// returns (nil, nil) and absorbs the stage when the extended history is
-// Comp-C, and the failure verdict when it is not — in which case the
-// stage is discarded and the engine is rebuilt over the admitted-only
-// history. An error reports a malformed stage (certifier state unchanged).
-func (c *certifier) admit(r *Runtime, stage *stagedRecord) (*front.Verdict, error) {
-	v, err := c.inc.Admit(c.buildDelta(r, stage))
-	if err != nil {
-		return nil, err
-	}
-	if v != nil {
-		if rerr := c.rebuild(r); rerr != nil {
-			return v, rerr
-		}
-		return v, nil
-	}
-	c.absorb(stage)
-	return nil, nil
+// stampedEvent is one admitted conflict-relevant event, tagged with the
+// epoch of the stage that absorbed it.
+type stampedEvent struct {
+	event
+	epoch uint64
 }
 
-// buildDelta derives the committing stage's system delta exactly as
-// RecordedSystem derives the full system: new component schedules, the
-// stage's forest nodes (parents first), and — per component, per item —
-// a conflict plus weak-output pair for every mode-conflicting event pair
-// with distinct parent transactions, directed by global sequence number.
-// Pairs against already-admitted events come from the index; pairs inside
-// the stage from a seq-ascending sweep.
-func (c *certifier) buildDelta(r *Runtime, stage *stagedRecord) *front.Delta {
-	d := &front.Delta{}
-	declared := map[string]bool{}
-	for _, n := range stage.nodes {
-		if n.sched != "" && !c.scheds[n.sched] && !declared[n.sched] {
-			declared[n.sched] = true
-			d.Schedules = append(d.Schedules, model.ScheduleID(n.sched))
+// modeEvents is one key's admitted events of a single mode, in
+// nondecreasing epoch order. Segregating per mode is the index's
+// last-conflicting-epoch trick: a probe screens each sublist with ONE
+// mode-table check and skips commuting sublists wholesale, so a
+// read-mostly or counter-increment key (whose events all commute) costs
+// a probing commit nothing no matter how long its history grows.
+type modeEvents struct {
+	mode data.Mode
+	evs  []stampedEvent
+}
+
+const certShards = 16
+
+// certShard is one shard of the conflict index. The padding keeps each
+// shard's RWMutex on its own cache line, like ckGate's.
+type certShard struct {
+	mu sync.RWMutex
+	m  map[string][]modeEvents
+	_  [24]byte
+}
+
+// certIndex is the sharded per-(component, item) conflict index. Probes
+// run out-of-lock on committing goroutines; appends and resets run only
+// under the certifier mutex. Per-mode sublists are append-only in
+// nondecreasing epoch order, so an epoch window is a binary-searched
+// contiguous range.
+type certIndex struct {
+	seed   maphash.Seed
+	shards [certShards]certShard
+}
+
+func newCertIndex() *certIndex {
+	ix := &certIndex{seed: maphash.MakeSeed()}
+	for i := range ix.shards {
+		ix.shards[i].m = map[string][]modeEvents{}
+	}
+	return ix
+}
+
+func (ix *certIndex) shard(key string) *certShard {
+	return &ix.shards[maphash.String(ix.seed, key)%certShards]
+}
+
+// probe calls fn for every admitted event of key with epoch in (lo, hi]
+// whose mode conflicts with mode under the component's table. Commuting
+// sublists are skipped after a single table check each.
+func (ix *certIndex) probe(key string, lo, hi uint64, mt *data.ModeTable, mode data.Mode, fn func(event)) {
+	sh := ix.shard(key)
+	sh.mu.RLock()
+	for _, me := range sh.m[key] {
+		if !mt.ModeConflicts(me.mode, mode) {
+			continue
+		}
+		i := sort.Search(len(me.evs), func(i int) bool { return me.evs[i].epoch > lo })
+		for ; i < len(me.evs) && me.evs[i].epoch <= hi; i++ {
+			fn(me.evs[i].event)
 		}
 	}
-	for _, n := range orderDecls(stage.nodes) {
-		d.Nodes = append(d.Nodes, front.DeltaNode{
+	sh.mu.RUnlock()
+}
+
+// probeFlat is the faithful PR-4 scan the Serial baseline measures
+// against: every indexed event under the key is visited and checked
+// against the committing event's mode one pair at a time — no per-mode
+// sublist screening, no epoch windowing of the scan. Results are
+// identical to probe's; the cost is the pre-pipeline per-commit cost.
+func (ix *certIndex) probeFlat(key string, lo, hi uint64, mt *data.ModeTable, mode data.Mode, fn func(event)) {
+	sh := ix.shard(key)
+	sh.mu.RLock()
+	for _, me := range sh.m[key] {
+		for _, se := range me.evs {
+			if mt.ModeConflicts(me.mode, mode) && se.epoch > lo && se.epoch <= hi {
+				fn(se.event)
+			}
+		}
+	}
+	sh.mu.RUnlock()
+}
+
+// addStage appends one absorbed stage's events at the given epoch
+// (admission goroutine only; epochs are nondecreasing per key and mode).
+// Events are grouped by key so each distinct key costs one shard
+// acquisition and one map access instead of one per event.
+func (ix *certIndex) addStage(keys []string, evs []event, epoch uint64) {
+	for i := range evs {
+		first := true
+		for j := 0; j < i; j++ {
+			if keys[j] == keys[i] {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		sh := ix.shard(keys[i])
+		sh.mu.Lock()
+		entries := sh.m[keys[i]]
+		for j := i; j < len(evs); j++ {
+			if keys[j] != keys[i] {
+				continue
+			}
+			e := evs[j]
+			found := false
+			for k := range entries {
+				if entries[k].mode == e.mode {
+					entries[k].evs = append(entries[k].evs, stampedEvent{event: e, epoch: epoch})
+					found = true
+					break
+				}
+			}
+			if !found {
+				entries = append(entries, modeEvents{mode: e.mode, evs: []stampedEvent{{event: e, epoch: epoch}}})
+			}
+		}
+		sh.m[keys[i]] = entries
+		sh.mu.Unlock()
+	}
+}
+
+// reset empties the index (checkpoint fold: conflict pairs against folded
+// events must never be generated again). Sublists of keys that were
+// active this window are truncated in place — their capacity is
+// immediately refilled by the next window — while keys idle since the
+// previous fold are dropped, so a retired item does not pin its slot
+// forever.
+func (ix *certIndex) reset() {
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		for k, entries := range sh.m {
+			active := false
+			for j := range entries {
+				if len(entries[j].evs) > 0 {
+					entries[j].evs = entries[j].evs[:0]
+					active = true
+				}
+			}
+			if !active {
+				delete(sh.m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// certifier is the runtime's online Comp-C certifier.
+type certifier struct {
+	modes map[string]*data.ModeTable // component mode tables (read-only after New)
+	opts  CertifyOptions
+
+	// epoch counts absorbed stages; every indexed event carries the epoch
+	// of the stage that absorbed it. A builder snapshots it out of lock:
+	// events at or below the snapshot are probed during construction,
+	// events above it are reconciled at admission. foldGen counts
+	// checkpoint folds — a fold invalidates snapshot-probed pairs (their
+	// endpoints may be folded out), detected by a generation mismatch.
+	epoch   atomic.Uint64
+	foldGen atomic.Uint64
+
+	index *certIndex
+
+	// mu guards the engine state below. The admission drainer holds it per
+	// ticket batch; CertifiedSystem, the checkpoint fold and the liveNodes
+	// gauge take it as readers. Runtime.mu is never acquired inside it.
+	mu     sync.Mutex
+	inc    *front.Incremental
+	scheds map[string]bool // component schedules already declared to the engine
+	// tail holds the deltas admitted since the last checkpoint fold, in
+	// admission order — the rejection-recovery replay source. The fold is
+	// the baseline: it already re-verified everything before it.
+	tail []*front.Delta
+
+	// pending parks the stages admitted through the fast path but not yet
+	// applied to the engine, keyed by root. A footprint-disjoint stage is
+	// Comp-C without the engine's help — it adds only isolated vertices to
+	// every constraint relation, and an isolated vertex can neither create
+	// nor break a cycle — so its delta is absorbed lazily: only when a
+	// later conflicting admission references one of its nodes (the probe
+	// index still carries its events, so such a reference always surfaces
+	// as a pair whose peer we flush first) or when a reader asks for the
+	// whole certified system. A stage that reaches the next checkpoint
+	// fold unreferenced is dropped with the fold and never pays engine
+	// admission at all — the fold rebuild replays only the live suffix,
+	// which never contained it.
+	pending     map[model.NodeID]*front.Delta
+	pendingNode map[model.NodeID]model.NodeID // any stage node -> its pending root
+	pendingN    int                           // nodes across pending (liveNodes gauge)
+
+	// Ticket queue: enqueue appends, the drainer (spawned on demand, gone
+	// when idle) processes strictly in arrival order.
+	qmu      sync.Mutex
+	queue    []*certTicket
+	draining bool
+
+	fastPath     atomic.Int64 // stages absorbed via the fast path
+	rebuildNanos atomic.Int64 // total wall time spent in rejection rebuilds
+
+	// tickets recycles certTickets across commits. Only the fields the
+	// admitted delta does NOT retain are pooled (the footprint slices, the
+	// result channel); nodes and pairs end up inside deltas held by the
+	// tail and the pending set, so those are freshly allocated per ticket.
+	tickets sync.Pool
+}
+
+func newCertifier(r *Runtime) *certifier {
+	opts := r.CertOpts
+	if opts.Serial {
+		opts.NoFastPath = true // the PR-4 baseline had no fast path
+	}
+	c := &certifier{
+		modes: make(map[string]*data.ModeTable, len(r.comps)),
+		opts:  opts,
+		// PropagateInputs mirrors RecordedSystem's Definition 4 item 7
+		// propagation, so the certified history matches the recorder.
+		inc:         front.NewIncremental(front.IncrementalOptions{PropagateInputs: true}),
+		scheds:      map[string]bool{},
+		index:       newCertIndex(),
+		pending:     map[model.NodeID]*front.Delta{},
+		pendingNode: map[model.NodeID]model.NodeID{},
+	}
+	for name, comp := range r.comps {
+		c.modes[name] = comp.modes
+	}
+	return c
+}
+
+// certTicket is one commit's admission request. Everything in it is built
+// out of lock on the committing goroutine; admission only reconciles.
+type certTicket struct {
+	root  model.NodeID
+	nodes []front.DeltaNode // topologically ordered node declarations
+
+	// localPairs pairs events within the stage; snapPairs pairs stage
+	// events against the index at the snapshot epoch. Each entry is both a
+	// conflict and a weak-output pair (directed by seq).
+	localPairs []front.DeltaPair
+	snapPairs  []front.DeltaPair
+
+	// The stage's footprint for reconciliation and index append: the
+	// events in global seq order with their (component, item) keys
+	// precomputed alongside.
+	evs   []event
+	ekeys []string
+
+	// peers lists the counterpart transactions of the probe-derived pairs
+	// (over-approximated, deduped against the previous entry only): the
+	// admitted nodes this stage's pairs reference. Admission flushes any
+	// of them still parked in the pending set before the full Admit.
+	peers []model.NodeID
+
+	snapEpoch uint64
+	foldGen   uint64
+
+	res chan certResult
+}
+
+// notePeer records a pair counterpart for the pre-admission flush.
+func (t *certTicket) notePeer(n model.NodeID) {
+	if k := len(t.peers); k > 0 && t.peers[k-1] == n {
+		return
+	}
+	t.peers = append(t.peers, n)
+}
+
+// getTicket returns a recycled (or fresh) ticket with its pooled fields
+// reset; putTicket returns it once the committer has read its result.
+func (c *certifier) getTicket() *certTicket {
+	if v := c.tickets.Get(); v != nil {
+		t := v.(*certTicket)
+		t.root = ""
+		t.nodes = nil // retained by the admitted delta; never reused
+		t.localPairs = nil
+		t.snapPairs = nil
+		t.evs = t.evs[:0]
+		t.ekeys = t.ekeys[:0]
+		t.peers = t.peers[:0]
+		return t
+	}
+	return &certTicket{res: make(chan certResult, 1)}
+}
+
+func (c *certifier) putTicket(t *certTicket) { c.tickets.Put(t) }
+
+type certResult struct {
+	verdict *front.Verdict
+	err     error
+}
+
+// buildTicket derives the committing stage's delta material exactly as
+// RecordedSystem derives the full system: new forest nodes (parents
+// first), and — per component, per item — a conflict plus weak-output
+// pair for every mode-conflicting event pair with distinct parent
+// transactions, directed by global sequence number. It runs on the
+// committing goroutine with no runtime lock held; cross-stage pairs come
+// from the conflict index at the snapshot epoch, pairs inside the stage
+// from a seq-ascending sweep. Schedule declarations are left to admission
+// (they depend on admission order).
+func (c *certifier) buildTicket(root model.NodeID, stage *stagedRecord) *certTicket {
+	t := c.getTicket()
+	t.root = root
+	t.foldGen = c.foldGen.Load()
+	t.snapEpoch = c.epoch.Load()
+	ordered := orderDecls(stage.nodes)
+	t.nodes = make([]front.DeltaNode, 0, len(ordered))
+	for _, n := range ordered {
+		t.nodes = append(t.nodes, front.DeltaNode{
 			ID: n.id, Parent: n.parent, Sched: model.ScheduleID(n.sched),
 		})
 	}
-
-	evs := append([]event(nil), stage.events...)
-	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
-	local := map[string][]event{}
-	for _, e := range evs {
-		key := certKey(e.comp, e.item)
-		for _, p := range c.index[key] {
-			c.pairInto(d, r, p, e)
+	t.evs = append(t.evs, stage.events...)
+	// The stage executed sequentially, so its events arrive in seq order
+	// already; sort only the exceptional out-of-order record.
+	for i := 1; i < len(t.evs); i++ {
+		if t.evs[i].seq < t.evs[i-1].seq {
+			sort.Slice(t.evs, func(i, j int) bool { return t.evs[i].seq < t.evs[j].seq })
+			break
 		}
-		for _, p := range local[key] {
-			c.pairInto(d, r, p, e)
-		}
-		local[key] = append(local[key], e)
 	}
-	return d
+	for i, e := range t.evs {
+		key := ""
+		for j := i - 1; j >= 0; j-- {
+			if t.evs[j].comp == e.comp && t.evs[j].item == e.item {
+				key = t.ekeys[j]
+				break
+			}
+		}
+		if key == "" {
+			key = certKey(e.comp, e.item)
+		}
+		t.ekeys = append(t.ekeys, key)
+	}
+	for i, e := range t.evs {
+		if c.opts.Serial {
+			c.index.probeFlat(t.ekeys[i], 0, t.snapEpoch, c.modes[e.comp], e.mode, func(p event) {
+				pairSeq(&t.snapPairs, p, e)
+			})
+		} else {
+			c.index.probe(t.ekeys[i], 0, t.snapEpoch, c.modes[e.comp], e.mode, func(p event) {
+				t.notePeer(p.parentTx)
+				pairSeq(&t.snapPairs, p, e)
+			})
+		}
+		// Intra-stage sweep: earlier events of the same key pair with e.
+		for j := 0; j < i; j++ {
+			if t.ekeys[j] == t.ekeys[i] {
+				c.pairInto(&t.localPairs, t.evs[j], e)
+			}
+		}
+	}
+	return t
 }
 
-// pairInto appends the conflict and weak-output pair for two same-item
-// events of one component, if they belong to different parent
-// transactions and their modes conflict under the component's table. The
-// weak output order follows the global sequence, exactly as the
-// recorder's assembly sorts events by seq before pairing.
-func (c *certifier) pairInto(d *front.Delta, r *Runtime, p, e event) {
+// pairInto appends the conflict/weak-output pair for two same-item events
+// of one component, if they belong to different parent transactions and
+// their modes conflict under the component's table.
+func (c *certifier) pairInto(dst *[]front.DeltaPair, p, e event) {
+	if !c.modes[e.comp].ModeConflicts(p.mode, e.mode) {
+		return
+	}
+	pairSeq(dst, p, e)
+}
+
+// pairSeq appends the conflict/weak-output pair for two events already
+// known to be mode-conflicting (the index probe screens per sublist), if
+// they belong to different parent transactions. The weak output order
+// follows the global sequence, exactly as the recorder's assembly sorts
+// events by seq before pairing.
+func pairSeq(dst *[]front.DeltaPair, p, e event) {
 	if p.parentTx == e.parentTx {
 		return
 	}
@@ -140,39 +483,235 @@ func (c *certifier) pairInto(d *front.Delta, r *Runtime, p, e event) {
 	if b.seq < a.seq {
 		a, b = b, a
 	}
-	if !r.comps[a.comp].modes.ModeConflicts(a.mode, b.mode) {
-		return
-	}
-	dp := front.DeltaPair{Sched: model.ScheduleID(a.comp), A: a.op, B: b.op}
-	d.Conflicts = append(d.Conflicts, dp)
-	d.WeakOut = append(d.WeakOut, dp)
+	*dst = append(*dst, front.DeltaPair{Sched: model.ScheduleID(a.comp), A: a.op, B: b.op})
 }
 
-// absorb commits an admitted stage into the certifier's history.
-func (c *certifier) absorb(stage *stagedRecord) {
-	for _, n := range stage.nodes {
-		if n.sched != "" {
-			c.scheds[n.sched] = true
+// enqueue hands a ticket to the admission queue and guarantees a drainer
+// is running. Queue order is the admission order — and so the certified
+// commit order.
+func (c *certifier) enqueue(t *certTicket) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, t)
+	spawn := !c.draining
+	if spawn {
+		c.draining = true
+	}
+	c.qmu.Unlock()
+	if spawn {
+		go c.drain()
+	}
+}
+
+// drain is the admission goroutine: it owns the engine for one ticket
+// batch at a time (amortizing the certifier mutex across a burst) and
+// exits when the queue runs dry, so an idle runtime holds no goroutine.
+func (c *certifier) drain() {
+	for {
+		c.qmu.Lock()
+		batch := c.queue
+		if len(batch) == 0 {
+			c.draining = false
+			c.qmu.Unlock()
+			return
+		}
+		c.queue = nil
+		c.qmu.Unlock()
+
+		c.mu.Lock()
+		for _, t := range batch {
+			v, err := c.admitLocked(t)
+			t.res <- certResult{verdict: v, err: err}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// admitLocked decides one ticket against the admitted history (under
+// c.mu). It reconciles the conflict pairs added since the ticket's
+// snapshot, assembles the final delta, and either fast-path absorbs it or
+// runs the full engine admission. On a violation the stage is discarded,
+// the engine rebuilt from the admitted tail, and the failure verdict
+// returned. An error reports a malformed stage (certifier state
+// unchanged).
+func (c *certifier) admitLocked(t *certTicket) (*front.Verdict, error) {
+	cur := c.epoch.Load()
+	snapPairs, lo := t.snapPairs, t.snapEpoch
+	if t.foldGen != c.foldGen.Load() {
+		// A checkpoint folded the history after this ticket's snapshot: its
+		// snapshot-probed pairs may reference folded nodes. Drop them and
+		// re-derive against the post-fold index, which holds exactly the
+		// events absorbed since the fold.
+		snapPairs, lo = nil, 0
+	}
+	pairs := snapPairs
+	if lo != cur {
+		// Stages were absorbed between the snapshot and now: reconcile the
+		// window (lo, cur]. When nothing intervened — the common case —
+		// the snapshot pairs are already complete and no probe runs.
+		for i, e := range t.evs {
+			c.index.probe(t.ekeys[i], lo, cur, c.modes[e.comp], e.mode, func(p event) {
+				t.notePeer(p.parentTx)
+				pairSeq(&pairs, p, e)
+			})
 		}
 	}
-	c.nodes = append(c.nodes, stage.nodes...)
-	for _, e := range stage.events {
-		key := certKey(e.comp, e.item)
-		c.index[key] = append(c.index[key], e)
+	pairs = append(pairs, t.localPairs...)
+
+	d := &front.Delta{Nodes: t.nodes}
+	for _, n := range t.nodes {
+		s := string(n.Sched)
+		if s == "" || c.scheds[s] {
+			continue
+		}
+		dup := false
+		for _, sd := range d.Schedules {
+			if sd == n.Sched {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.Schedules = append(d.Schedules, n.Sched)
+		}
 	}
-	c.events = append(c.events, stage.events...)
+	// Every derived pair is both a declared conflict and a weak-output
+	// pair (the engine reads both slices; sharing the backing array is
+	// fine, they are never mutated).
+	d.Conflicts = pairs
+	d.WeakOut = pairs
+
+	if len(pairs) == 0 && len(d.Schedules) == 0 && !c.opts.NoFastPath &&
+		c.inc.NodesOnlyEligible(d) {
+		// Footprint-disjoint: park the stage for lazy absorption instead of
+		// applying it. Its events still enter the conflict index (so a later
+		// conflicting stage finds it and flushes it), but the engine — and
+		// the next fold's rebuild — never sees it unless referenced.
+		c.fastPath.Add(1)
+		c.pending[t.root] = d
+		for _, n := range t.nodes {
+			c.pendingNode[n.ID] = t.root
+		}
+		c.pendingN += len(t.nodes)
+		c.absorbLocked(t, d)
+		return nil, nil
+	}
+	// Full admission references its pair counterparts: any of them still
+	// parked must enter the engine first.
+	if err := c.flushPeersLocked(t.peers); err != nil {
+		return nil, err
+	}
+	v, err := c.inc.Admit(d)
+	if err != nil {
+		return nil, err
+	}
+	if v != nil {
+		if rerr := c.rebuildLocked(); rerr != nil {
+			return v, rerr
+		}
+		return v, nil
+	}
+	c.absorbLocked(t, d)
+	return nil, nil
 }
 
-// rebuild replaces the poisoned engine with a fresh one seeded from the
-// admitted log (one big stage — its intra-stage sweep derives exactly the
-// pairs the per-commit admits derived). The admitted history was Comp-C
-// at every admit, so re-admitting it succeeds; anything else is a bug
-// surfaced as an error.
-func (c *certifier) rebuild(r *Runtime) error {
-	fresh := newCertifier()
-	if len(c.nodes) > 0 {
-		seed := &stagedRecord{nodes: c.nodes, events: c.events}
-		v, err := fresh.admit(r, seed)
+// absorbLocked commits an admitted stage into the certifier's history:
+// schedules, the delta tail, and the conflict index. The epoch is bumped
+// only after every index append, so a builder that snapshots the new
+// epoch is guaranteed to see all of the stage's events in its probes.
+func (c *certifier) absorbLocked(t *certTicket, d *front.Delta) {
+	for _, n := range t.nodes {
+		if n.Sched != "" {
+			c.scheds[string(n.Sched)] = true
+		}
+	}
+	c.tail = append(c.tail, d)
+	ep := c.epoch.Load() + 1
+	c.index.addStage(t.ekeys, t.evs, ep)
+	c.epoch.Store(ep)
+}
+
+// flushPeersLocked applies the pending stages owning the given nodes: a
+// conflicting admission is about to reference them, so the engine must
+// know them now. Unreferenced pending stages stay parked.
+func (c *certifier) flushPeersLocked(peers []model.NodeID) error {
+	for _, p := range peers {
+		if root, ok := c.pendingNode[p]; ok {
+			if err := c.flushOneLocked(root); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushAllLocked applies every pending stage — a whole-system reader
+// (CertifiedSystem, the foldable-roots helper) needs the engine complete.
+func (c *certifier) flushAllLocked() error {
+	for root := range c.pending {
+		if err := c.flushOneLocked(root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOneLocked unparks one pending stage and absorbs it. Eligibility
+// cannot be revoked between parking and flush (the IG only grows, a
+// rejection rebuild clears the pending set under this same mutex), so
+// the fallback full admission is a belt-and-suspenders path.
+func (c *certifier) flushOneLocked(root model.NodeID) error {
+	d := c.pending[root]
+	delete(c.pending, root)
+	for _, n := range d.Nodes {
+		delete(c.pendingNode, n.ID)
+	}
+	c.pendingN -= len(d.Nodes)
+	if err := c.inc.AbsorbNodes(d); err != nil {
+		if !errors.Is(err, front.ErrNotNodesOnly) {
+			return fmt.Errorf("sched: certifier deferred absorb of %s: %w", root, err)
+		}
+		if _, aerr := c.inc.Admit(d); aerr != nil {
+			return fmt.Errorf("sched: certifier deferred absorb of %s: %w", root, aerr)
+		}
+	}
+	return nil
+}
+
+// rebuildLocked replaces the poisoned engine with a fresh one replayed
+// from the admitted delta tail — the stages admitted since the last
+// checkpoint fold (the fold already re-verified everything before it, so
+// fold + tail covers the whole admitted history). The stored deltas are
+// replayed verbatim: no event re-sorting, no conflict re-pairing, and no
+// Runtime.mu held — committers keep building their own deltas while the
+// rebuild runs.
+func (c *certifier) rebuildLocked() error {
+	start := time.Now()
+	defer func() { c.rebuildNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	fresh := front.NewIncremental(front.IncrementalOptions{PropagateInputs: true})
+	// Schedules declared before the tail window (their declaring stages
+	// were folded) must be re-seeded; schedules the tail itself declares
+	// must not be (a delta re-declaring one fails validation).
+	inTail := map[model.ScheduleID]bool{}
+	for _, d := range c.tail {
+		for _, s := range d.Schedules {
+			inTail[s] = true
+		}
+	}
+	var seed []model.ScheduleID
+	for s := range c.scheds {
+		if !inTail[model.ScheduleID(s)] {
+			seed = append(seed, model.ScheduleID(s))
+		}
+	}
+	if len(seed) > 0 {
+		sort.Slice(seed, func(i, j int) bool { return seed[i] < seed[j] })
+		if _, err := fresh.Admit(&front.Delta{Schedules: seed}); err != nil {
+			return fmt.Errorf("sched: certifier rebuild: %w", err)
+		}
+	}
+	for _, d := range c.tail {
+		v, err := fresh.Admit(d)
 		if err != nil {
 			return fmt.Errorf("sched: certifier rebuild: %w", err)
 		}
@@ -180,35 +719,122 @@ func (c *certifier) rebuild(r *Runtime) error {
 			return fmt.Errorf("sched: certifier rebuild: admitted history re-verification failed: %s", v.Reason)
 		}
 	}
-	*c = *fresh
+	c.inc = fresh
+	// The tail holds every admitted delta — parked ones included — so the
+	// replay above already applied them; nothing is pending anymore.
+	clear(c.pending)
+	clear(c.pendingNode)
+	c.pendingN = 0
 	return nil
 }
 
-// orderDecls orders a stage's node declarations parents-first. The stage
-// declares leaves and events as they execute but a subtransaction only
-// after its subtree completes, so children can precede their parent;
-// the delta format requires the opposite. Unresolvable declarations are
-// appended as-is and surface as delta validation errors.
+// fold runs the checkpoint fold under the certifier mutex: fold the
+// committed roots out of the engine, clear the delta tail (the fold is
+// the new rebuild baseline), empty the conflict index, and bump the fold
+// generation so in-flight tickets re-derive their snapshot pairs.
+func (c *certifier) fold() (roots, nodes int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.inc.System().Roots()
+	if len(rs) > 0 {
+		sum, err := c.inc.Checkpoint(rs)
+		if err != nil {
+			return 0, 0, err
+		}
+		roots, nodes = sum.Roots, sum.Nodes
+	}
+	// Pending stages are committed like everything else accumulated, so
+	// they fold too — by being dropped. They never entered the engine, so
+	// there is nothing to remove; this is where the deferral pays: an
+	// unreferenced disjoint stage costs the engine nothing, ever.
+	roots += len(c.pending)
+	nodes += c.pendingN
+	if len(c.pending) > 0 {
+		clear(c.pending)
+		clear(c.pendingNode)
+		c.pendingN = 0
+	}
+	c.tail = nil
+	c.index.reset()
+	c.foldGen.Add(1)
+	return roots, nodes, nil
+}
+
+// liveNodes gauges the certifier's accumulated forest — engine plus
+// parked stages (watermark gauge; the backpressure thresholds must see
+// deferred memory too).
+func (c *certifier) liveNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inc.LiveNodes() + c.pendingN
+}
+
+// orderDecls orders a stage's node declarations parents-first via a
+// children-map topological emit (the stage declares leaves and events as
+// they execute but a subtransaction only after its subtree completes, so
+// children can precede their parent; the delta format requires the
+// opposite). One pass indexes children by parent, one preorder walk from
+// the stage roots emits them — O(n), sibling order preserved.
+// Unresolvable declarations are appended as-is and surface as delta
+// validation errors.
 func orderDecls(decls []nodeDecl) []nodeDecl {
-	out := make([]nodeDecl, 0, len(decls))
-	emitted := make(map[model.NodeID]bool, len(decls))
-	pending := append([]nodeDecl(nil), decls...)
-	for len(pending) > 0 {
-		progress := false
-		next := pending[:0]
-		for _, dcl := range pending {
-			if dcl.parent == "" || emitted[dcl.parent] {
-				out = append(out, dcl)
-				emitted[dcl.id] = true
-				progress = true
-			} else {
-				next = append(next, dcl)
+	if len(decls) <= 1 {
+		return decls
+	}
+	n := len(decls)
+	// Child lists as linked siblings over declaration indices (head/tail
+	// per node, next per child) — no per-stage maps, sibling order is
+	// declaration order. Stages are small, so the parent lookup is a
+	// linear scan.
+	head := make([]int32, n)
+	tail := make([]int32, n)
+	next := make([]int32, n)
+	for i := range head {
+		head[i], tail[i], next[i] = -1, -1, -1
+	}
+	var roots []int32
+	for i, d := range decls {
+		p := int32(-1)
+		if d.parent != "" {
+			for j := 0; j < n; j++ {
+				if decls[j].id == d.parent {
+					p = int32(j)
+					break
+				}
 			}
 		}
-		if !progress {
-			return append(out, next...)
+		if p < 0 {
+			roots = append(roots, int32(i))
+			continue
 		}
-		pending = next
+		if head[p] < 0 {
+			head[p] = int32(i)
+		} else {
+			next[tail[p]] = int32(i)
+		}
+		tail[p] = int32(i)
+	}
+	out := make([]nodeDecl, 0, n)
+	var emit func(i int32)
+	emit = func(i int32) {
+		out = append(out, decls[i])
+		for c := head[i]; c >= 0; c = next[c] {
+			emit(c)
+		}
+	}
+	for _, r := range roots {
+		emit(r)
+	}
+	if len(out) != len(decls) {
+		emitted := make(map[model.NodeID]bool, len(out))
+		for _, d := range out {
+			emitted[d.id] = true
+		}
+		for _, d := range decls {
+			if !emitted[d.id] {
+				out = append(out, d)
+			}
+		}
 	}
 	return out
 }
@@ -219,14 +845,32 @@ func orderDecls(decls []nodeDecl) []nodeDecl {
 // CertifyError carrying the violation witness. An existing committed
 // history is admitted as the seed (after Recover, this rebuilds the
 // certifier over the recovered execution). Call before submitting
-// transactions — and before EnableWAL, so the log records the mode.
+// transactions. Calling it after EnableWAL returns ErrCertifyAfterWAL:
+// the journaled metadata record would not carry the certify flag, so a
+// recovery of that log would silently drop certification.
 func (r *Runtime) EnableCertify() error {
+	if r.wal != nil {
+		return ErrCertifyAfterWAL
+	}
+	return r.enableCertify()
+}
+
+// enableCertify is EnableCertify without the WAL-ordering guard. Recover
+// calls it after attaching the recovered log, whose metadata already
+// records certify mode.
+func (r *Runtime) enableCertify() error {
+	c := newCertifier(r)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := newCertifier()
+	var seed *stagedRecord
 	if len(r.rec.nodes) > 0 {
-		seed := &stagedRecord{nodes: r.rec.nodes, events: r.rec.events}
-		v, err := c.admit(r, seed)
+		seed = &stagedRecord{nodes: r.rec.nodes, events: r.rec.events}
+	}
+	r.mu.Unlock()
+	if seed != nil {
+		t := c.buildTicket("", seed)
+		c.mu.Lock()
+		v, err := c.admitLocked(t)
+		c.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -234,39 +878,81 @@ func (r *Runtime) EnableCertify() error {
 			return &CertifyError{Verdict: v}
 		}
 	}
+	r.mu.Lock()
 	r.cert = c
+	r.mu.Unlock()
 	return nil
+}
+
+// certifier returns the live certifier (nil = off). The pointer is
+// published under Runtime.mu by enableCertify; everything behind it has
+// its own synchronization.
+func (r *Runtime) certifier() *certifier {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cert
 }
 
 // Certifying reports whether live certification is enabled.
 func (r *Runtime) Certifying() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cert != nil
+	return r.certifier() != nil
 }
 
 // CertifiedSystem returns the certifier's accumulated composite system
 // (nil when certification is off). It equals RecordedSystem over the
 // same commits; callers must not mutate it.
 func (r *Runtime) CertifiedSystem() *model.System {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cert == nil {
+	c := r.certifier()
+	if c == nil {
 		return nil
 	}
-	return r.cert.inc.System()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Readers see the complete history: unpark everything first. The flush
+	// cannot fail for certifier-built stages (see flushOneLocked); if it
+	// somehow did, the divergence surfaces in the returned system.
+	_ = c.flushAllLocked()
+	return c.inc.System()
 }
 
-// certify admits a committing attempt's staged record, serialized under
-// the runtime mutex so the admitted order is the commit order. A nil
-// return admits the commit; a CertifyError rejects it.
+// certify admits a committing attempt's staged record. The delta is built
+// on this goroutine against an epoch snapshot of the conflict index, then
+// admitted in ticket order by the admission drainer — the global runtime
+// mutex is never taken. A nil return admits the commit; a CertifyError
+// rejects it.
 func (r *Runtime) certify(a *attempt) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cert == nil {
+	c := r.certifier()
+	if c == nil {
 		return nil
 	}
-	v, err := r.cert.admit(r, a.stage)
+	if c.opts.Serial {
+		return r.certifySerial(c, a)
+	}
+	t := c.buildTicket(a.root, a.stage)
+	c.enqueue(t)
+	res := <-t.res
+	c.putTicket(t)
+	if res.err != nil {
+		return res.err
+	}
+	if res.verdict != nil {
+		r.certRejects.Add(1)
+		return &CertifyError{Root: a.root, Verdict: res.verdict}
+	}
+	return nil
+}
+
+// certifySerial is the pre-pipeline baseline (CertifyOptions.Serial):
+// construction and admission both inline under the global runtime mutex,
+// exactly the old commit critical section. Kept for the E17 comparison.
+func (r *Runtime) certifySerial(c *certifier, a *attempt) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := c.buildTicket(a.root, a.stage)
+	c.mu.Lock()
+	v, err := c.admitLocked(t)
+	c.mu.Unlock()
+	c.putTicket(t)
 	if err != nil {
 		return err
 	}

@@ -237,11 +237,11 @@ type ckQuarantine struct {
 // certifier's accumulated forest when certifying, the recorder's
 // otherwise.
 func (r *Runtime) liveNodes() int {
+	if c := r.certifier(); c != nil {
+		return c.liveNodes()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.cert != nil {
-		return r.cert.inc.LiveNodes()
-	}
 	return len(r.rec.nodes)
 }
 
@@ -312,7 +312,7 @@ func (r *Runtime) checkpointCut(st *CheckpointStats) error {
 				Version:  1,
 				Protocol: r.protocol.String(),
 				Topology: topologyToDoc(r.topo),
-				Certify:  r.cert != nil,
+				Certify:  r.Certifying(),
 			},
 			Seq:       r.seq.Load(),
 			Committed: r.commits.Load(),
@@ -354,28 +354,27 @@ func (r *Runtime) checkpointCut(st *CheckpointStats) error {
 	// recorder. Everything accumulated is committed (admits happen at
 	// commit), so the whole prefix folds; the engine's later verdicts are
 	// unchanged by the multi-level serial-witness argument (see
-	// front.Incremental.Checkpoint).
-	r.mu.Lock()
-	if r.cert != nil {
-		roots := r.cert.inc.System().Roots()
-		if len(roots) > 0 {
-			sum, err := r.cert.inc.Checkpoint(roots)
-			if err != nil {
-				r.mu.Unlock()
-				return fmt.Errorf("sched: checkpoint fold: %w", err)
-			}
-			st.Roots, st.Nodes = sum.Roots, sum.Nodes
+	// front.Incremental.Checkpoint). The certifier fold runs under the
+	// certifier's own mutex, serializing against the admission drainer:
+	// it also clears the admitted delta tail and the conflict index —
+	// pairs against folded events must never be generated again, that is
+	// the engine's fold contract — and bumps the fold generation so any
+	// in-flight ticket built against a pre-fold snapshot re-derives its
+	// cross-stage pairs at admission.
+	if c := r.certifier(); c != nil {
+		roots, nodes, err := c.fold()
+		if err != nil {
+			return fmt.Errorf("sched: checkpoint fold: %w", err)
 		}
-		// Prune the certifier's replay log and event index to the (now
-		// empty) folded state: conflict pairs against folded events must
-		// never be generated again — that is the engine's fold contract.
-		r.cert.nodes = nil
-		r.cert.events = nil
-		r.cert.index = map[string][]event{}
+		st.Roots, st.Nodes = roots, nodes
 	}
+	r.mu.Lock()
 	st.Nodes += len(r.rec.nodes)
-	r.rec.nodes = nil
-	r.rec.events = nil
+	// Truncate instead of dropping: the backing arrays are bounded by the
+	// largest window between folds and are immediately refilled, so
+	// keeping them spares the recorder a fresh growth ladder per window.
+	r.rec.nodes = r.rec.nodes[:0]
+	r.rec.events = r.rec.events[:0]
 	r.mu.Unlock()
 
 	// 3. Compact the MVCC chains. The frontier is the oldest snapshot an
@@ -503,10 +502,12 @@ func (r *Runtime) Throttled() bool { return r.ck.throttle.Load() }
 // foldable is a debugging/test helper: the roots currently accumulated
 // in the certifier (nil when certification is off).
 func (r *Runtime) certifiedRoots() []model.NodeID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cert == nil {
+	c := r.certifier()
+	if c == nil {
 		return nil
 	}
-	return r.cert.inc.System().Roots()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.flushAllLocked() // parked stages are accumulated roots too
+	return c.inc.System().Roots()
 }

@@ -88,7 +88,15 @@ type dattempt struct {
 	stage   *stagedRecord
 	values  []int64
 	touched map[string]bool
-	rng     *rand.Rand
+	rng     *rand.Rand // backoff jitter, built lazily on first retry
+	rngSeed int64
+}
+
+func (a *dattempt) jitter(n int) int {
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(a.rngSeed))
+	}
+	return a.rng.Intn(n)
 }
 
 func newCoordinator(cfg DistConfig, topo *Topology, crash *distCrashState) *Coordinator {
@@ -263,7 +271,7 @@ func (c *Coordinator) Submit(name string, root Invocation) (*TxResult, error) {
 			ts:      ts,
 			stage:   newStagedRecord(),
 			touched: map[string]bool{},
-			rng:     rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+			rngSeed: int64(ts)*7919 + int64(retries),
 		}
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
 		c.setInflight(name, true)
@@ -302,7 +310,7 @@ func (c *Coordinator) Submit(name string, root Invocation) (*TxResult, error) {
 		select {
 		case <-c.stop:
 			return nil, ErrCrashed
-		case <-time.After(time.Duration(base/2+a.rng.Intn(base)) * time.Microsecond):
+		case <-time.After(time.Duration(base/2+a.jitter(base)) * time.Microsecond):
 		}
 	}
 }

@@ -384,8 +384,11 @@ func Recover(cfg WALConfig) (*Recovered, error) {
 	// Certify mode survives the crash: rebuild the certifier over the
 	// recovered committed history, so the recovered runtime keeps
 	// rejecting violating commits exactly where the crashed one would.
+	// (The unguarded variant: the recovered log's metadata already
+	// records certify mode, so the EnableCertify/EnableWAL ordering
+	// check does not apply.)
 	if meta.Certify {
-		if err := rt.EnableCertify(); err != nil {
+		if err := rt.enableCertify(); err != nil {
 			return out, fmt.Errorf("sched: rebuilding certifier from recovered history: %w", err)
 		}
 	}

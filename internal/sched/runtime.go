@@ -137,6 +137,16 @@ type Metrics struct {
 	// unless EnableCertify is on and a violation was attempted).
 	CertifyRejects int64
 
+	// CertifyFastPath counts certified commits absorbed through the
+	// footprint-disjointness fast path (zero cross-transaction conflict
+	// pairs: the engine's admission machinery was skipped entirely).
+	CertifyFastPath int64
+
+	// CertifyRebuildNanos is the total wall time spent rebuilding the
+	// certifier engine after rejections (replaying the admitted delta
+	// tail since the last checkpoint fold).
+	CertifyRebuildNanos int64
+
 	// ValidationAborts counts optimistic attempts whose snapshot reads
 	// were invalidated by conflicting commits (each followed by a retry
 	// with a fresh snapshot; zero unless ExecOptimistic/SnapshotRead).
@@ -169,8 +179,9 @@ func (m Metrics) String() string {
 	if m.WALRecords+m.Crashes > 0 {
 		fmt.Fprintf(&b, " wal-records=%d crashes=%d", m.WALRecords, m.Crashes)
 	}
-	if m.CertifyRejects > 0 {
-		fmt.Fprintf(&b, " certify-rejects=%d", m.CertifyRejects)
+	if m.CertifyRejects+m.CertifyFastPath+m.CertifyRebuildNanos > 0 {
+		fmt.Fprintf(&b, " certify-rejects=%d certify-fastpath=%d certify-rebuild-ns=%d",
+			m.CertifyRejects, m.CertifyFastPath, m.CertifyRebuildNanos)
 	}
 	if m.ValidationAborts+m.ValidationRefreshes > 0 {
 		fmt.Fprintf(&b, " validation-aborts=%d validation-refreshes=%d",
@@ -277,6 +288,11 @@ type Runtime struct {
 	// attempt aborts with ErrValidation and re-executes. 0 disables
 	// refreshing: every invalidated read aborts immediately.
 	RefreshRetries int
+
+	// CertOpts tunes the certification pipeline (serial baseline,
+	// fast-path toggle). Set before EnableCertify; changes afterwards
+	// have no effect on the live certifier.
+	CertOpts CertifyOptions
 }
 
 // New builds a runtime for the given protocol and component topology.
@@ -371,6 +387,10 @@ func (r *Runtime) Metrics() Metrics {
 	}
 	if r.wal != nil {
 		m.WALRecords = int64(r.wal.Records())
+	}
+	if r.cert != nil {
+		m.CertifyFastPath = r.cert.fastPath.Load()
+		m.CertifyRebuildNanos = r.cert.rebuildNanos.Load()
 	}
 	m.LockWaits = r.globalLM.waitCount()
 	names := make([]string, 0, len(r.comps))

@@ -80,7 +80,12 @@ type attempt struct {
 	undo   []undoEntry
 	stage  *stagedRecord
 	values []int64
-	rng    *rand.Rand
+
+	// Backoff jitter source, built lazily on the first retry: seeding a
+	// rand.Source is hundreds of words of setup the no-retry fast path
+	// never needs.
+	rng     *rand.Rand
+	rngSeed int64
 
 	// Optimistic execution state (ExecOptimistic / Invocation.SnapshotRead):
 	// per-store snapshot stamps, the snapshot reads to validate at commit,
@@ -174,7 +179,7 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 			root:       rootID,
 			ts:         ts,
 			stage:      newStagedRecord(),
-			rng:        rand.New(rand.NewSource(int64(ts)*7919 + int64(retries))),
+			rngSeed:    int64(ts)*7919 + int64(retries),
 			optimistic: r.Exec == ExecOptimistic || root.SnapshotRead,
 		}
 		a.stage.declareNode(nodeDecl{id: rootID, sched: root.Component})
@@ -189,8 +194,12 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 		if err == nil {
 			// Commit-time certification (EnableCertify): the staged record
 			// is admitted against the Comp-C criterion before anything of
-			// the commit becomes durable. A rejected commit rolls back like
-			// a client abort — the violation witness rides the error.
+			// the commit becomes durable. The delta is built on this
+			// goroutine against an epoch snapshot of the conflict index,
+			// then admitted in ticket order by the certifier's admission
+			// drainer — Runtime.mu is never taken. A rejected commit rolls
+			// back like a client abort — the violation witness rides the
+			// error.
 			if cerr := r.certify(a); cerr != nil {
 				r.rollback(a)
 				r.journal(wal.Record{Type: wal.TypeAbort, Txn: string(rootID)})
@@ -253,6 +262,9 @@ func (r *Runtime) Submit(name string, root Invocation) (res *TxResult, err error
 			shift = 6
 		}
 		base := (50 << shift) // 50µs .. 3.2ms
+		if a.rng == nil {
+			a.rng = rand.New(rand.NewSource(a.rngSeed))
+		}
 		time.Sleep(time.Duration(base/2+a.rng.Intn(base)) * time.Microsecond)
 	}
 }

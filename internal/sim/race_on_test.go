@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// performance gates skip themselves under the detector: instrumentation
+// inflates the fixed per-commit cost and compresses measured speedup
+// ratios, so thresholds calibrated for uninstrumented builds would flake.
+const raceEnabled = true

@@ -66,6 +66,10 @@ type (
 	// Comp-C violation witness. Matches ErrCertifyViolation with
 	// errors.Is.
 	CertifyError = sched.CertifyError
+	// CertifyOptions tunes the certification pipeline (Runtime.CertOpts):
+	// the serial pre-pipeline baseline and the footprint-disjointness
+	// fast-path toggle.
+	CertifyOptions = sched.CertifyOptions
 
 	// CheckpointConfig installs the bounded-memory checkpoint cadence and
 	// overload watermarks (Runtime.EnableCheckpoints): every N commits the
@@ -151,6 +155,10 @@ var (
 	// (EnableCertify) rejects the commit: admitting it would make the
 	// committed execution violate Comp-C. The transaction is rolled back.
 	ErrCertifyViolation = sched.ErrCertifyViolation
+	// ErrCertifyAfterWAL rejects EnableCertify on a runtime whose WAL is
+	// already attached (the journaled metadata would not record certify
+	// mode, so recovery would silently drop certification).
+	ErrCertifyAfterWAL = sched.ErrCertifyAfterWAL
 	// ErrValidation aborts an optimistic attempt (ExecOptimistic) whose
 	// snapshot reads a conflicting commit invalidated; the runtime rolls
 	// the attempt back and retries it with a fresh snapshot, so Submit
